@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the experiment benchmarks: table printing, blocked
+ * layout shorthand, and the shared-conversion cost composition used by
+ * several figures.
+ */
+
+#ifndef LL_BENCH_BENCH_UTIL_H
+#define LL_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codegen/swizzle.h"
+#include "layout/linear_layout.h"
+#include "sim/gpu_spec.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace bench {
+
+inline LinearLayout
+makeBlocked(const triton::Shape &spt, const triton::Shape &tpw,
+            const triton::Shape &wpc, const std::vector<int32_t> &order,
+            const triton::Shape &shape)
+{
+    triton::BlockedEncoding enc;
+    enc.sizePerThread = spt;
+    enc.threadsPerWarp = tpw;
+    enc.warpsPerCta = wpc;
+    enc.order = order;
+    return enc.toLinearLayout(shape);
+}
+
+/** Modeled cycles of a conversion through an optimally swizzled shared
+ *  layout (store + load + round trip), per warp. */
+inline double
+swizzledConversionCycles(const codegen::SwizzledShared &swz,
+                         const LinearLayout &src, const LinearLayout &dst,
+                         int elemBytes, const sim::GpuSpec &spec)
+{
+    auto regsOf = [](const LinearLayout &l) {
+        return l.hasInDim("register") ? l.getInDimSize("register") : 1;
+    };
+    int vec = swz.vecElems();
+    double storeInsts = std::max(1, regsOf(src) / vec);
+    double loadInsts = std::max(1, regsOf(dst) / vec);
+    double storeWf = static_cast<double>(
+        codegen::analyticWavefronts(swz, src, elemBytes, spec));
+    double loadWf = static_cast<double>(codegen::analyticWavefronts(
+        swz, dst.transposeOuts(src.getOutDimNames()), elemBytes, spec));
+    return storeInsts * storeWf * spec.sharedWavefrontCycles +
+           loadInsts * loadWf * spec.sharedWavefrontCycles +
+           spec.sharedRoundTripCycles;
+}
+
+inline void
+printRule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    printRule();
+    std::printf("%s\n", title.c_str());
+    printRule();
+}
+
+} // namespace bench
+} // namespace ll
+
+#endif // LL_BENCH_BENCH_UTIL_H

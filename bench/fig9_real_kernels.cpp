@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 9: real-kernel speedups of Triton-Linear over legacy Triton on
+ * the RTX4090, GH200, and MI250 models.
+ *
+ * Every kernel from the TritonBench-style suite is laid out by the
+ * linear-layout engine, then priced twice: once with the linear-layout
+ * lowerings (no-op detection, register permutes, warp shuffles, optimal
+ * swizzles, ldmatrix/stmatrix where the platform has them) and once
+ * under the legacy rules (every conversion through padded shared
+ * memory, fastest-dim vectorization, duplicate stores). As in the
+ * paper, TMA-dependent kernels only run on GH200 and large-shared
+ * kernels skip the consumer GPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "engine/cost_model.h"
+#include "engine/layout_engine.h"
+#include "kernels.h"
+#include "legacy/legacy_cost.h"
+
+namespace {
+
+using namespace ll;
+
+struct Result
+{
+    double minSpeedup = 1e9, maxSpeedup = 0, geo = 0;
+    int cases = 0;
+};
+
+bool
+kernelRunsOn(const kernels::KernelSpec &k, const sim::GpuSpec &spec)
+{
+    if (k.needsTma && !spec.hasTma)
+        return false;
+    if (k.needsLargeShared && spec.sharedMemPerCta < 128 * 1024)
+        return false;
+    return true;
+}
+
+void
+printTable()
+{
+    const sim::GpuSpec specs[] = {sim::GpuSpec::rtx4090(),
+                                  sim::GpuSpec::gh200(),
+                                  sim::GpuSpec::mi250()};
+    bench::printHeader(
+        "Figure 9: Triton-Linear speedup over legacy Triton, "
+        "per kernel and platform (modeled)");
+    auto suite = kernels::allKernels();
+    std::printf("%-20s", "kernel");
+    for (const auto &spec : specs)
+        std::printf(" %14s", spec.name.c_str());
+    std::printf("   (min..max over inputs)\n");
+
+    std::vector<double> platformGeo(3, 0.0);
+    std::vector<int> platformCases(3, 0);
+    for (const auto &k : suite) {
+        std::printf("%-20s", k.name.c_str());
+        for (size_t p = 0; p < 3; ++p) {
+            const auto &spec = specs[p];
+            if (!kernelRunsOn(k, spec)) {
+                std::printf(" %14s", "n/a");
+                continue;
+            }
+            Result r;
+            for (int32_t size : k.sizes) {
+                ir::Function f = k.build(size);
+                engine::LayoutEngine eng({spec, 4});
+                eng.run(f);
+                auto lin = engine::estimateKernelCost(f, spec, 4);
+                auto leg = legacy::estimateLegacyKernelCost(f, spec, 4);
+                double speedup = leg.cycles / std::max(lin.cycles, 1.0);
+                r.minSpeedup = std::min(r.minSpeedup, speedup);
+                r.maxSpeedup = std::max(r.maxSpeedup, speedup);
+                r.geo += std::log(speedup);
+                ++r.cases;
+                platformGeo[p] += std::log(speedup);
+                ++platformCases[p];
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.2f..%.2f", r.minSpeedup,
+                          r.maxSpeedup);
+            std::printf(" %14s", buf);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-20s", "geomean");
+    for (size_t p = 0; p < 3; ++p) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3fx",
+                      std::exp(platformGeo[p] / platformCases[p]));
+        std::printf(" %14s", buf);
+    }
+    std::printf("   over %d+%d+%d cases\n", platformCases[0],
+                platformCases[1], platformCases[2]);
+}
+
+void
+BM_EngineOnKernel(benchmark::State &state)
+{
+    auto suite = kernels::allKernels();
+    const auto &k = suite[static_cast<size_t>(state.range(0))];
+    auto spec = sim::GpuSpec::gh200();
+    for (auto _ : state) {
+        ir::Function f = k.build(k.sizes[0]);
+        engine::LayoutEngine eng({spec, 4});
+        auto stats = eng.run(f);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetLabel(k.name);
+}
+
+BENCHMARK(BM_EngineOnKernel)->Arg(0)->Arg(5)->Arg(8);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

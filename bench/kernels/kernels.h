@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The TritonBench-style kernel suite behind Figure 9 and Table 6.
+ *
+ * Each builder constructs one CTA tile's worth of a real workload as a
+ * mini-IR function: the GEMM family (f16 / fp8 / bf16xint16 / int4 /
+ * grouped), the attention kernels whose second dot forces the
+ * interesting MMA-output -> MMA-input conversion, the reduction kernels
+ * (softmax / welford / layer_norm), and the data-movement kernels
+ * (rope / embedding / gather_gemv). Builders are parameterized by a
+ * size knob so each kernel contributes several input cases, mirroring
+ * TritonBench's multiple inputs per benchmark.
+ */
+
+#ifndef LL_BENCH_KERNELS_H
+#define LL_BENCH_KERNELS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ll {
+namespace kernels {
+
+/** A named kernel builder plus the tile sizes it is evaluated at. */
+struct KernelSpec
+{
+    std::string name;
+    std::vector<int32_t> sizes;
+    std::function<ir::Function(int32_t)> build;
+    /** Some kernels need resources absent on some GPUs (paper Section
+     *  6.2: TMA-dependent kernels skip RTX4090/MI250). */
+    bool needsTma = false;
+    bool needsLargeShared = false;
+};
+
+ir::Function gemm(int32_t size);
+ir::Function fp8Gemm(int32_t size);
+ir::Function bf16xint16Gemm(int32_t size);
+ir::Function int4Gemm(int32_t size);
+ir::Function groupedGemm(int32_t size);
+ir::Function templateAttention(int32_t size);
+ir::Function flexAttention(int32_t size);
+ir::Function softmax(int32_t size);
+ir::Function welford(int32_t size);
+ir::Function layerNorm(int32_t size);
+ir::Function rope(int32_t size);
+ir::Function embedding(int32_t size);
+ir::Function gatherGemv(int32_t size);
+ir::Function cumsum(int32_t size);
+
+/** The full Figure 9 suite. */
+std::vector<KernelSpec> allKernels();
+
+} // namespace kernels
+} // namespace ll
+
+#endif // LL_BENCH_KERNELS_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build the paper's Layout A (Figure 1a / Table 1) as a
+ * linear layout, query it, compose with another layout, and invert it.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "layout/dims.h"
+#include "layout/linear_layout.h"
+#include "triton/encodings.h"
+
+using namespace ll;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. Layout A from the paper: a 16x16 tensor held by 2 warps, each
+    //    thread owning a 2x2 register tile; j (dim1) is the fastest dim.
+    // ------------------------------------------------------------------
+    triton::BlockedEncoding enc;
+    enc.sizePerThread = {2, 2};
+    enc.threadsPerWarp = {4, 8};
+    enc.warpsPerCta = {2, 1};
+    enc.order = {1, 0};
+    LinearLayout a = enc.toLinearLayout({16, 16});
+
+    std::printf("Layout A as a linear layout:\n%s\n",
+                a.toString().c_str());
+
+    // Table 1, last row: register r1 of thread t9 in warp w0 sits at
+    // logical location (i, j) = (2, 3).
+    auto loc = a.apply(
+        {{dims::kReg, 1}, {dims::kLane, 9}, {dims::kWarp, 0}});
+    std::printf("r1 of t9/w0 -> (i, j) = (%d, %d)\n", loc[1].second,
+                loc[0].second);
+
+    // ------------------------------------------------------------------
+    // 2. Analyses: bijectivity, vectorization, broadcast detection.
+    // ------------------------------------------------------------------
+    std::printf("surjective=%d injective=%d consecutive-elements=%d\n",
+                a.isSurjective(), a.isInjective(),
+                a.getNumConsecutiveInOut());
+
+    // ------------------------------------------------------------------
+    // 3. Inversion: recover hardware indices from tensor coordinates.
+    // ------------------------------------------------------------------
+    LinearLayout inv = a.invert();
+    auto hw = inv.apply({{"dim1", 3}, {"dim0", 2}});
+    std::printf("element (2, 3) lives at: ");
+    for (const auto &[dim, v] : hw)
+        std::printf("%s=%d ", dim.c_str(), v);
+    std::printf("\n");
+
+    // ------------------------------------------------------------------
+    // 4. Composition with a memory layout: where does each register go
+    //    in a swizzled shared-memory buffer?
+    // ------------------------------------------------------------------
+    LinearLayout shared =
+        triton::mmaSwizzledSharedLayout({16, 16}, 4, 1, 4, {1, 0});
+    LinearLayout regToOffset = a.compose(shared.invert());
+    std::printf("\nregister/lane/warp -> swizzled shared offset:\n%s",
+                regToOffset.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,170 @@
+#include "codegen/conversion.h"
+
+#include "codegen/tiles.h"
+#include "triton/encodings.h"
+#include "layout/dims.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+namespace {
+
+/** Can ldmatrix/stmatrix service this resource->offset map? */
+bool
+matchesLdmatrixTile(const LinearLayout &cvt, int elemBytes)
+{
+    if (elemBytes > 4)
+        return false;
+    LinearLayout tile = ldmatrixTile(elemBytes);
+    if (tileMatches(cvt, tile))
+        return true;
+    auto permuted = permuteRegistersForTile(cvt, 4 / elemBytes);
+    return permuted.has_value() && tileMatches(*permuted, tile);
+}
+
+} // namespace
+
+std::string
+toString(ConversionKind kind)
+{
+    switch (kind) {
+      case ConversionKind::NoOp:
+        return "no-op";
+      case ConversionKind::RegisterPermute:
+        return "register-permute";
+      case ConversionKind::WarpShuffle:
+        return "warp-shuffle";
+      case ConversionKind::SharedMemory:
+        return "shared-memory";
+    }
+    return "unknown";
+}
+
+ConversionPlan
+planConversion(const LinearLayout &src, const LinearLayout &dst,
+               int elemBytes, const sim::GpuSpec &spec)
+{
+    ConversionPlan plan;
+    if (conversionIsNoOp(src, dst)) {
+        plan.kind = ConversionKind::NoOp;
+        return plan;
+    }
+    if (conversionIsRegisterPermute(src, dst)) {
+        plan.kind = ConversionKind::RegisterPermute;
+        return plan;
+    }
+    try {
+        auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
+        if (shuffle.has_value()) {
+            plan.kind = ConversionKind::WarpShuffle;
+            plan.shuffle = std::move(shuffle);
+            return plan;
+        }
+    } catch (const LogicError &) {
+        // Degenerate structure the shuffle planner cannot prove safe;
+        // fall through to the always-correct shared-memory path.
+    }
+
+    plan.kind = ConversionKind::SharedMemory;
+
+    // Candidate shared layouts: the optimal swizzle (maximal plain
+    // vectorization) and, on 2D tensors, the legacy-parameter mma
+    // swizzle whose vec-granular phases keep 16-byte rows intact and so
+    // stay divisible by the ldmatrix/stmatrix tiles. Pick by modeled
+    // cost.
+    std::vector<SwizzledShared> candidates;
+    candidates.push_back(
+        computeOptimalSwizzle(src, dst, elemBytes, spec));
+    if ((spec.hasLdmatrix || spec.hasStmatrix) && elemBytes <= 4 &&
+        src.getNumOutDims() == 2) {
+        auto outs = src.getOutDims();
+        triton::Shape shape = {0, 0};
+        for (const auto &[name, size] : outs)
+            shape[static_cast<size_t>(std::stoi(name.substr(3)))] = size;
+        // Fastest dim = first out dim of src.
+        int fast = std::stoi(outs[0].first.substr(3));
+        std::vector<int32_t> order = {fast, 1 - fast};
+        auto params = triton::chooseMmaSwizzleParams(
+            elemBytes, shape[static_cast<size_t>(fast)]);
+        auto legacy = triton::mmaSwizzledSharedLayout(
+            shape, params.vec, params.perPhase, params.maxPhase, order);
+        candidates.push_back(
+            wrapMemoryLayout(legacy, src, dst, elemBytes, spec));
+    }
+
+    double bestCost = -1.0;
+    for (auto &cand : candidates) {
+        LinearLayout toOffset =
+            cand.tensorToOffset.transposeIns(src.getOutDimNames());
+        LinearLayout storeCvt = src.compose(toOffset);
+        LinearLayout loadCvt =
+            dst.transposeOuts(src.getOutDimNames()).compose(toOffset);
+        ConversionPlan trial = plan;
+        trial.usesStmatrix = spec.hasStmatrix &&
+                             matchesLdmatrixTile(storeCvt, elemBytes);
+        trial.usesLdmatrix = spec.hasLdmatrix &&
+                             matchesLdmatrixTile(loadCvt, elemBytes);
+        trial.storeWavefrontsPerAccess =
+            analyticWavefronts(cand, src, elemBytes, spec);
+        trial.loadWavefrontsPerAccess =
+            analyticWavefronts(cand, dst, elemBytes, spec);
+        trial.shared = cand;
+        double cost = trial.estimateCycles(src, elemBytes, spec);
+        if (bestCost < 0 || cost < bestCost) {
+            bestCost = cost;
+            plan = std::move(trial);
+        }
+    }
+    return plan;
+}
+
+double
+ConversionPlan::estimateCycles(const LinearLayout &src, int elemBytes,
+                               const sim::GpuSpec &spec) const
+{
+    const int numRegsSrc =
+        src.hasInDim(dims::kReg) ? src.getInDimSize(dims::kReg) : 1;
+    switch (kind) {
+      case ConversionKind::NoOp:
+        return 0.0;
+      case ConversionKind::RegisterPermute:
+        // Register moves retire at ~1 per cycle but typically fold into
+        // surrounding instructions; charge a quarter cycle each.
+        return 0.25 * numRegsSrc;
+      case ConversionKind::WarpShuffle:
+        return static_cast<double>(
+                   shuffle->countShuffleInstructions(elemBytes)) *
+               spec.shuffleCycles;
+      case ConversionKind::SharedMemory: {
+        const int vec = shared->vecElems();
+        const int numRegsDst = numRegsSrc; // same element count per thread
+        double storeInstr = std::max(1, numRegsSrc / vec);
+        double loadInstr = std::max(1, numRegsDst / vec);
+        double storeCycles = storeInstr *
+                             static_cast<double>(storeWavefrontsPerAccess) *
+                             spec.sharedWavefrontCycles;
+        double loadCycles;
+        if (usesLdmatrix) {
+            // Each ldmatrix moves a 16-byte row per lane, conflict-free.
+            double tiles = std::max(
+                1.0, numRegsDst * elemBytes / 16.0);
+            loadCycles = tiles * spec.ldmatrixCyclesPerTile;
+        } else {
+            loadCycles = loadInstr *
+                         static_cast<double>(loadWavefrontsPerAccess) *
+                         spec.sharedWavefrontCycles;
+        }
+        if (usesStmatrix) {
+            double tiles = std::max(
+                1.0, numRegsSrc * elemBytes / 16.0);
+            storeCycles = tiles * spec.ldmatrixCyclesPerTile;
+        }
+        return storeCycles + loadCycles + spec.sharedRoundTripCycles;
+      }
+    }
+    return 0.0;
+}
+
+} // namespace codegen
+} // namespace ll

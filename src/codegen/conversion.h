@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Layout-conversion lowering selector (Sections 5.3-5.4).
+ *
+ * Given source and destination distributed layouts, pick the cheapest
+ * correct lowering, mirroring the decision procedure linear layouts
+ * enable in Triton:
+ *
+ *   1. no-op            — B^-1 . A is the identity modulo broadcast;
+ *   2. register permute — data never leaves its thread;
+ *   3. warp shuffles    — data never leaves its warp (and no broadcast);
+ *   4. shared memory    — general case, through an optimally swizzled
+ *                         scratch layout, with ldmatrix/stmatrix when
+ *                         the hardware has them and the tiles divide.
+ *
+ * The returned plan carries enough detail for the simulator to execute
+ * it on data and for the cost model to price it.
+ */
+
+#ifndef LL_CODEGEN_CONVERSION_H
+#define LL_CODEGEN_CONVERSION_H
+
+#include <optional>
+#include <string>
+
+#include "codegen/shuffle.h"
+#include "codegen/swizzle.h"
+#include "layout/linear_layout.h"
+#include "sim/gpu_spec.h"
+
+namespace ll {
+namespace codegen {
+
+enum class ConversionKind
+{
+    NoOp,
+    RegisterPermute,
+    WarpShuffle,
+    SharedMemory,
+};
+
+std::string toString(ConversionKind kind);
+
+struct ConversionPlan
+{
+    ConversionKind kind = ConversionKind::NoOp;
+
+    /** Present when kind == WarpShuffle. */
+    std::optional<WarpShufflePlan> shuffle;
+
+    /** Present when kind == SharedMemory. */
+    std::optional<SwizzledShared> shared;
+    bool usesLdmatrix = false;
+    bool usesStmatrix = false;
+    /** Analytic per-warp-access wavefronts (Lemma 9.4). */
+    int64_t storeWavefrontsPerAccess = 0;
+    int64_t loadWavefrontsPerAccess = 0;
+
+    /**
+     * Modeled cost in cycles for converting one CTA worth of data.
+     * numWarps warps each hold regs-per-thread elements.
+     */
+    double estimateCycles(const LinearLayout &src, int elemBytes,
+                          const sim::GpuSpec &spec) const;
+};
+
+/**
+ * Plan the conversion of a tensor from layout `src` to layout `dst`
+ * (both distributed layouts over the same logical tensor).
+ */
+ConversionPlan planConversion(const LinearLayout &src,
+                              const LinearLayout &dst, int elemBytes,
+                              const sim::GpuSpec &spec);
+
+} // namespace codegen
+} // namespace ll
+
+#endif // LL_CODEGEN_CONVERSION_H

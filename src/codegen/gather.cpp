@@ -1,0 +1,92 @@
+#include "codegen/gather.h"
+
+#include "layout/dims.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+using dims::kLane;
+using dims::kReg;
+using dims::kWarp;
+
+std::optional<GatherPlan>
+planGather(const LinearLayout &layout, int axis, const sim::GpuSpec &spec)
+{
+    if (!layout.hasInDim(kReg) || !layout.hasInDim(kLane) ||
+        !layout.hasOutDim(dims::out(axis))) {
+        return std::nullopt;
+    }
+    if (!layout.isInvertible())
+        return std::nullopt;
+    if (layout.getInDimSize(kLane) != spec.warpSize)
+        return std::nullopt;
+
+    // Warp-local iff no warp basis vector moves along the gathered axis.
+    const std::string axisDim = dims::out(axis);
+    if (layout.hasInDim(kWarp)) {
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(kWarp); ++i) {
+            if (layout.getBasis(kWarp, i, axisDim) != 0)
+                return std::nullopt;
+        }
+    }
+
+    GatherPlan plan;
+    plan.axis = axis;
+    plan.numRegs = layout.getInDimSize(kReg);
+    plan.warpSize = spec.warpSize;
+    int threadBits = 0;
+    for (int32_t i = 0; i < layout.getInDimSizeLog2(kLane); ++i) {
+        if (layout.getBasis(kLane, i, axisDim) != 0)
+            ++threadBits;
+    }
+    plan.rounds = 1 << threadBits;
+    return plan;
+}
+
+std::vector<std::vector<uint64_t>>
+executeGather(const GatherPlan &plan, const LinearLayout &layout,
+              int32_t warp, const std::vector<std::vector<uint64_t>> &regs,
+              const std::vector<std::vector<int32_t>> &idx)
+{
+    LinearLayout inv = layout.invert();
+    const int warpSize = plan.warpSize;
+    const int numRegs = plan.numRegs;
+    const std::string axisDim = dims::out(plan.axis);
+
+    std::vector<std::vector<uint64_t>> out(
+        static_cast<size_t>(warpSize),
+        std::vector<uint64_t>(static_cast<size_t>(numRegs)));
+    for (int lane = 0; lane < warpSize; ++lane) {
+        for (int reg = 0; reg < numRegs; ++reg) {
+            auto coords = layout.apply(
+                {{kReg, reg}, {kLane, lane}, {kWarp, warp}});
+            // Redirect the axis coordinate through the index tensor.
+            for (auto &[dim, value] : coords) {
+                if (dim == axisDim)
+                    value = idx[static_cast<size_t>(lane)]
+                               [static_cast<size_t>(reg)];
+            }
+            auto srcIdx = inv.apply(coords);
+            int32_t srcReg = 0, srcLane = 0, srcWarp = 0;
+            for (const auto &[dim, value] : srcIdx) {
+                if (dim == kReg)
+                    srcReg = value;
+                else if (dim == kLane)
+                    srcLane = value;
+                else if (dim == kWarp)
+                    srcWarp = value;
+            }
+            llAssert(srcWarp == warp,
+                     "gather source crossed warps despite a warp-local "
+                     "plan");
+            out[static_cast<size_t>(lane)][static_cast<size_t>(reg)] =
+                regs[static_cast<size_t>(srcLane)]
+                    [static_cast<size_t>(srcReg)];
+        }
+    }
+    return out;
+}
+
+} // namespace codegen
+} // namespace ll

@@ -1,0 +1,95 @@
+#include "codegen/shared_exec.h"
+
+#include <set>
+
+#include "layout/dims.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+namespace {
+
+using dims::kLane;
+using dims::kReg;
+using dims::kWarp;
+
+/** Distinct vectorized register groups of a layout: one representative
+ *  register index per group of registers mapping to the same
+ *  vec-aligned offset block (for lane 0, warp 0 — grouping is
+ *  lane-invariant by linearity). */
+std::vector<int32_t>
+registerGroupReps(const SwizzledShared &swz, const LinearLayout &dist)
+{
+    std::set<uint64_t> seen;
+    std::vector<int32_t> reps;
+    const int numRegs = dist.getInDimSize(kReg);
+    for (int32_t reg = 0; reg < numRegs; ++reg) {
+        uint64_t x = dist.applyFlat(static_cast<uint64_t>(reg));
+        uint64_t key = swz.tensorToOffset.applyFlat(x) >> swz.vecBits;
+        if (seen.insert(key).second)
+            reps.push_back(reg);
+    }
+    return reps;
+}
+
+} // namespace
+
+SharedConversionResult
+executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
+                        const LinearLayout &dst, int elemBytes,
+                        const sim::GpuSpec &spec)
+{
+    SharedConversionResult result;
+    const int64_t numElems = src.getTotalOutDimSize();
+    sim::SharedMemory smem(spec, elemBytes, numElems);
+    const int warpSize = src.getInDimSize(kLane);
+    const int numWarps = src.hasInDim(kWarp) ? src.getInDimSize(kWarp) : 1;
+    const int vec = swz.vecElems();
+
+    // --- store phase: every warp writes its fragment -------------------
+    auto storeReps = registerGroupReps(swz, src);
+    for (int warp = 0; warp < numWarps; ++warp) {
+        for (int32_t rep : storeReps) {
+            auto offsets =
+                warpAccessOffsets(swz, src, rep, warp, warpSize);
+            std::vector<std::vector<uint64_t>> values(offsets.size());
+            for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                for (int k = 0; k < vec; ++k) {
+                    values[lane].push_back(swz.memLayout.applyFlat(
+                        static_cast<uint64_t>(offsets[lane]) +
+                        static_cast<uint64_t>(k)));
+                }
+            }
+            smem.warpStore(offsets, vec, values, result.storeStats);
+        }
+    }
+
+    // --- load phase + verification -------------------------------------
+    LinearLayout dstAligned = dst.transposeOuts(src.getOutDimNames());
+    auto loadReps = registerGroupReps(swz, dstAligned);
+    const int numWarpsDst = dstAligned.hasInDim(kWarp)
+                                ? dstAligned.getInDimSize(kWarp)
+                                : 1;
+    result.correct = true;
+    for (int warp = 0; warp < numWarpsDst; ++warp) {
+        for (int32_t rep : loadReps) {
+            auto offsets =
+                warpAccessOffsets(swz, dstAligned, rep, warp, warpSize);
+            auto loaded = smem.warpLoad(offsets, vec, result.loadStats);
+            for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                for (int k = 0; k < vec; ++k) {
+                    uint64_t expect = swz.memLayout.applyFlat(
+                        static_cast<uint64_t>(offsets[lane]) +
+                        static_cast<uint64_t>(k));
+                    if (loaded[lane][static_cast<size_t>(k)] != expect)
+                        result.correct = false;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace codegen
+} // namespace ll

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Executable shared-memory layout conversion.
+ *
+ * Runs a conversion plan's shared-memory path on the simulator: every
+ * warp stores its fragment through the swizzled layout, then loads it
+ * back in the destination layout. Element payloads are their flattened
+ * tensor indices, so the executor can verify that every element lands in
+ * exactly the register that the destination layout demands — the
+ * correctness oracle behind the Table 4 and Figure 7 experiments — while
+ * the simulator counts transactions and bank-conflict wavefronts.
+ */
+
+#ifndef LL_CODEGEN_SHARED_EXEC_H
+#define LL_CODEGEN_SHARED_EXEC_H
+
+#include "codegen/swizzle.h"
+#include "layout/linear_layout.h"
+#include "sim/memory_sim.h"
+
+namespace ll {
+namespace codegen {
+
+struct SharedConversionResult
+{
+    sim::AccessStats storeStats;
+    sim::AccessStats loadStats;
+    bool correct = false;
+};
+
+/**
+ * Execute src -> shared(swz) -> dst for the whole tensor and verify
+ * element placement. Layouts must be surjective over the same output
+ * space; the tensor must fit in the CTA's shared memory.
+ */
+SharedConversionResult
+executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
+                        const LinearLayout &dst, int elemBytes,
+                        const sim::GpuSpec &spec);
+
+} // namespace codegen
+} // namespace ll
+
+#endif // LL_CODEGEN_SHARED_EXEC_H

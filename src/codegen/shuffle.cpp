@@ -1,0 +1,346 @@
+#include "codegen/shuffle.h"
+
+#include <algorithm>
+
+#include "f2/matrix.h"
+#include "f2/subspace.h"
+#include "layout/dims.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+namespace {
+
+using dims::kLane;
+using dims::kReg;
+using dims::kWarp;
+
+std::vector<uint64_t>
+flatColumns(const LinearLayout &layout, const std::string &inDim)
+{
+    if (!layout.hasInDim(inDim))
+        return {};
+    return layout.flattenedBases(inDim);
+}
+
+/** Value-level set intersection, preserving the order of `u`. */
+std::vector<uint64_t>
+setIntersection(const std::vector<uint64_t> &u,
+                const std::vector<uint64_t> &v)
+{
+    std::vector<uint64_t> out;
+    for (uint64_t x : u) {
+        if (x != 0 && std::find(v.begin(), v.end(), x) != v.end())
+            out.push_back(x);
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+setDifference(const std::vector<uint64_t> &u, const std::vector<uint64_t> &v)
+{
+    std::vector<uint64_t> out;
+    for (uint64_t x : u) {
+        if (x != 0 && std::find(v.begin(), v.end(), x) == v.end())
+            out.push_back(x);
+    }
+    return out;
+}
+
+/** The conversion matrix columns of B^-1 . A over flattened in spaces. */
+f2::F2Matrix
+conversionMatrix(const LinearLayout &a, const LinearLayout &b)
+{
+    LinearLayout conv =
+        a.invertAndCompose(b.transposeOuts(a.getOutDimNames()));
+    return conv.toF2Matrix();
+}
+
+} // namespace
+
+bool
+conversionIsNoOp(const LinearLayout &a, const LinearLayout &b)
+{
+    if (a.getInDimNames() != b.getInDimNames())
+        return false;
+    for (const auto &dim : a.getInDimNames()) {
+        if (a.getInDimSize(dim) != b.getInDimSize(dim))
+            return false;
+    }
+    f2::F2Matrix conv = conversionMatrix(a, b);
+    // Flattened source columns of A, to tell real zeros from broadcast.
+    std::vector<uint64_t> aCols;
+    for (const auto &dim : a.getInDimNames()) {
+        auto f = flatColumns(a, dim);
+        aCols.insert(aCols.end(), f.begin(), f.end());
+    }
+    for (int p = 0; p < conv.numCols(); ++p) {
+        uint64_t col = conv.getCol(p);
+        if (col == (uint64_t(1) << p))
+            continue;
+        if (col == 0 && aCols[static_cast<size_t>(p)] == 0)
+            continue; // broadcast bit: value is duplicated anyway
+        return false;
+    }
+    return true;
+}
+
+bool
+conversionIsRegisterPermute(const LinearLayout &a, const LinearLayout &b)
+{
+    if (!a.hasInDim(kReg) || !b.hasInDim(kReg))
+        return false;
+    f2::F2Matrix conv = conversionMatrix(a, b);
+    const int regLog = a.getInDimSizeLog2(kReg);
+    const uint64_t regMask = (uint64_t(1) << regLog) - 1;
+    for (int p = 0; p < conv.numCols(); ++p) {
+        uint64_t col = conv.getCol(p);
+        if (p < regLog) {
+            if ((col & ~regMask) != 0)
+                return false; // register data escapes the thread
+        } else if (col != (uint64_t(1) << p)) {
+            return false; // lane/warp must map identically
+        }
+    }
+    return true;
+}
+
+bool
+conversionIsIntraWarp(const LinearLayout &a, const LinearLayout &b)
+{
+    if (!a.hasInDim(kReg) || !a.hasInDim(kLane))
+        return false;
+    f2::F2Matrix conv = conversionMatrix(a, b);
+    const int regLog = a.getInDimSizeLog2(kReg);
+    const int laneLog = a.getInDimSizeLog2(kLane);
+    const int warpBase = regLog + laneLog;
+    const uint64_t intraMask = (uint64_t(1) << warpBase) - 1;
+    for (int p = 0; p < conv.numCols(); ++p) {
+        uint64_t col = conv.getCol(p);
+        if (p < warpBase) {
+            if ((col & ~intraMask) != 0)
+                return false; // data crosses into another warp
+        } else if (col != (uint64_t(1) << p)) {
+            return false; // warp must map identically
+        }
+    }
+    return true;
+}
+
+int64_t
+WarpShufflePlan::countShuffleInstructions(int elemBytes) const
+{
+    int payloadBytes = vecElems * elemBytes;
+    int shufflesPerRound = (payloadBytes + 3) / 4;
+    int64_t total = 0;
+    for (const auto &round : xfers) {
+        bool communicates = false;
+        for (size_t lane = 0; lane < round.size(); ++lane) {
+            if (round[lane].srcLane != static_cast<int32_t>(lane)) {
+                communicates = true;
+                break;
+            }
+        }
+        if (communicates)
+            total += shufflesPerRound;
+    }
+    return total;
+}
+
+std::vector<std::vector<uint64_t>>
+WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
+{
+    llAssert(static_cast<int>(src.size()) == warpSize,
+             "execute: expected " << warpSize << " lanes");
+    std::vector<std::vector<uint64_t>> dst(
+        static_cast<size_t>(warpSize),
+        std::vector<uint64_t>(static_cast<size_t>(numRegsB), ~uint64_t(0)));
+    for (const auto &round : xfers) {
+        for (size_t lane = 0; lane < round.size(); ++lane) {
+            const ShuffleXfer &x = round[lane];
+            llAssert(x.srcLane >= 0 && x.srcLane < warpSize,
+                     "invalid source lane");
+            for (const auto &[ra, rb] : x.regPairs)
+                dst[lane][static_cast<size_t>(rb)] =
+                    src[static_cast<size_t>(x.srcLane)]
+                       [static_cast<size_t>(ra)];
+        }
+    }
+    return dst;
+}
+
+std::optional<WarpShufflePlan>
+planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
+                int elemBytes, const sim::GpuSpec &spec)
+{
+    // Structural preconditions: same output space, injective (no
+    // broadcast — the shared path handles that), identical warp bases,
+    // and a warp-preserving conversion.
+    auto aOuts = a.getOutDimNames();
+    auto bOuts = bIn.getOutDimNames();
+    std::sort(aOuts.begin(), aOuts.end());
+    std::sort(bOuts.begin(), bOuts.end());
+    if (aOuts != bOuts)
+        return std::nullopt;
+    LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
+    if (!a.isSurjective() || !b.isSurjective() || !a.isInjective() ||
+        !b.isInjective()) {
+        return std::nullopt;
+    }
+    if (!a.hasInDim(kReg) || !a.hasInDim(kLane) || !b.hasInDim(kReg) ||
+        !b.hasInDim(kLane)) {
+        return std::nullopt;
+    }
+    if (a.getInDimSize(kLane) != b.getInDimSize(kLane) ||
+        a.getInDimSize(kLane) != spec.warpSize) {
+        return std::nullopt;
+    }
+    if (flatColumns(a, kWarp) != flatColumns(b, kWarp))
+        return std::nullopt;
+    if (!conversionIsIntraWarp(a, b))
+        return std::nullopt;
+
+    const int d = a.getTotalOutDimSizeLog2();
+    const int regLogA = a.getInDimSizeLog2(kReg);
+    const int laneLog = a.getInDimSizeLog2(kLane);
+    const int dw = regLogA + laneLog; // warp-0 element space dimension
+
+    auto aReg = flatColumns(a, kReg);
+    auto bReg = flatColumns(b, kReg);
+    auto aThr = flatColumns(a, kLane);
+    auto bThr = flatColumns(b, kLane);
+
+    // V: shared register columns, capped at a 32-bit shuffle payload.
+    std::vector<uint64_t> vec = setIntersection(aReg, bReg);
+    int maxVecBits = std::max(0, log2Ceil(4u) - log2Ceil(
+                                  static_cast<uint64_t>(elemBytes)));
+    if (static_cast<int>(vec.size()) > maxVecBits)
+        vec.resize(static_cast<size_t>(maxVecBits));
+    const int v = static_cast<int>(vec.size());
+
+    // I, E, F, G as in the paper.
+    std::vector<uint64_t> iBasis = setIntersection(aThr, bThr);
+    std::vector<uint64_t> e = setDifference(aThr, iBasis);
+    std::vector<uint64_t> f = setDifference(bThr, iBasis);
+    llAssert(e.size() == f.size(),
+             "injective layouts with equal lane counts must have "
+             "|E| == |F|");
+    std::sort(e.begin(), e.end());
+    std::sort(f.begin(), f.end());
+    std::vector<uint64_t> g;
+    for (size_t i = 0; i < e.size(); ++i)
+        g.push_back(e[i] ^ f[i]);
+
+    // R: extend V u I u G to a basis of the warp-0 element space using
+    // A's own columns.
+    f2::EchelonBasis ech;
+    for (uint64_t x : vec)
+        llAssert(ech.insert(x), "V is not independent");
+    for (uint64_t x : iBasis)
+        llAssert(ech.insert(x), "V u I is not independent");
+    for (uint64_t x : g) {
+        if (!ech.insert(x))
+            return std::nullopt; // degenerate exchange structure
+    }
+    std::vector<uint64_t> r;
+    std::vector<uint64_t> w0Cols = aReg;
+    w0Cols.insert(w0Cols.end(), aThr.begin(), aThr.end());
+    for (uint64_t x : w0Cols) {
+        if (ech.insert(x))
+            r.push_back(x);
+    }
+    const int i = static_cast<int>(iBasis.size());
+    const int gsz = static_cast<int>(g.size());
+    const int rsz = static_cast<int>(r.size());
+    llAssert(v + i + gsz + rsz == dw,
+             "basis of the warp element space has wrong dimension");
+
+    // Full-space coordinate system [V | I | G | R | Wrp].
+    f2::F2Matrix basisM(d, d);
+    {
+        int col = 0;
+        for (uint64_t x : vec)
+            basisM.setCol(col++, x);
+        for (uint64_t x : iBasis)
+            basisM.setCol(col++, x);
+        for (uint64_t x : g)
+            basisM.setCol(col++, x);
+        for (uint64_t x : r)
+            basisM.setCol(col++, x);
+        for (uint64_t x : flatColumns(a, kWarp))
+            basisM.setCol(col++, x);
+        llAssert(col == d, "basis column count mismatch");
+    }
+    llAssert(basisM.isInvertible(), "conversion basis is singular");
+    f2::F2Matrix coordOf = basisM.inverse();
+
+    LinearLayout binv = b.invert();
+
+    WarpShufflePlan plan;
+    plan.vecElems = 1 << v;
+    plan.rounds = 1 << rsz;
+    plan.numRegsA = a.getInDimSize(kReg);
+    plan.numRegsB = b.getInDimSize(kReg);
+    plan.warpSize = spec.warpSize;
+    plan.xfers.assign(
+        static_cast<size_t>(plan.rounds),
+        std::vector<ShuffleXfer>(static_cast<size_t>(spec.warpSize)));
+    // Pre-size every payload so register pairs land at their V-slot.
+    for (auto &round : plan.xfers) {
+        for (auto &x : round)
+            x.regPairs.assign(static_cast<size_t>(plan.vecElems),
+                              {-1, -1});
+    }
+
+    const int regLogB = b.getInDimSizeLog2(kReg);
+    for (uint64_t in = 0; in < (uint64_t(1) << dw); ++in) {
+        int32_t srcReg = static_cast<int32_t>(
+            in & ((uint64_t(1) << regLogA) - 1));
+        int32_t srcLane = static_cast<int32_t>(in >> regLogA);
+        uint64_t x = a.applyFlat(in);
+        uint64_t coords = coordOf.apply(x);
+        llAssert((coords >> dw) == 0,
+                 "warp-0 element has nonzero warp coordinate");
+        int32_t vSlot = static_cast<int32_t>(
+            coords & ((uint64_t(1) << v) - 1));
+        int32_t round = static_cast<int32_t>(
+            (coords >> (v + i + gsz)) & ((uint64_t(1) << rsz) - 1));
+
+        uint64_t dstIn = binv.applyFlat(x);
+        int32_t dstReg = static_cast<int32_t>(
+            dstIn & ((uint64_t(1) << regLogB) - 1));
+        int32_t dstLane = static_cast<int32_t>(
+            (dstIn >> regLogB) & ((uint64_t(1) << laneLog) - 1));
+        llAssert((dstIn >> (regLogB + laneLog)) == 0,
+                 "warp-0 element maps outside warp 0 in B");
+
+        ShuffleXfer &xfer = plan.xfers[static_cast<size_t>(round)]
+                                      [static_cast<size_t>(dstLane)];
+        if (xfer.srcLane == -1) {
+            xfer.srcLane = srcLane;
+        } else {
+            // The theorem guarantees one source lane per slice per
+            // destination; a violation means the plan is infeasible.
+            llAssert(xfer.srcLane == srcLane,
+                     "slice contains two source lanes for one "
+                     "destination lane");
+        }
+        auto &slot = xfer.regPairs[static_cast<size_t>(vSlot)];
+        llAssert(slot.first == -1, "duplicate V-slot in shuffle payload");
+        slot = {srcReg, dstReg};
+    }
+
+    // Every payload slot must be filled.
+    for (const auto &round : plan.xfers) {
+        for (const auto &x : round) {
+            llAssert(x.srcLane >= 0, "lane received no data in a round");
+            for (const auto &[ra, rb] : x.regPairs)
+                llAssert(ra >= 0 && rb >= 0, "unfilled payload slot");
+        }
+    }
+    return plan;
+}
+
+} // namespace codegen
+} // namespace ll

@@ -1,0 +1,363 @@
+#include "codegen/swizzle.h"
+
+#include "sim/memory_sim.h"
+
+#include <algorithm>
+
+#include "f2/subspace.h"
+#include "layout/dims.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+namespace {
+
+/** Nonzero flattened basis columns of one input dim (empty if absent). */
+std::vector<uint64_t>
+nonzeroColumns(const LinearLayout &layout, const std::string &inDim)
+{
+    std::vector<uint64_t> out;
+    if (!layout.hasInDim(inDim))
+        return out;
+    for (uint64_t c : layout.flattenedBases(inDim)) {
+        if (c != 0)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** Set difference u \ v by column value. */
+std::vector<uint64_t>
+setDifference(const std::vector<uint64_t> &u, const std::vector<uint64_t> &v)
+{
+    std::vector<uint64_t> out;
+    for (uint64_t x : u) {
+        if (std::find(v.begin(), v.end(), x) == v.end())
+            out.push_back(x);
+    }
+    return out;
+}
+
+} // namespace
+
+SwizzledShared
+computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
+                      int elemBytes, const sim::GpuSpec &spec,
+                      int maxVecBytesOverride)
+{
+    llUserCheck(a.isSurjective() && bIn.isSurjective(),
+                "swizzle inputs must be surjective layouts");
+    LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
+    const int d = a.getTotalOutDimSizeLog2();
+
+    auto aReg = nonzeroColumns(a, dims::kReg);
+    auto bReg = nonzeroColumns(b, dims::kReg);
+    auto aThr = nonzeroColumns(a, dims::kLane);
+    auto bThr = nonzeroColumns(b, dims::kLane);
+
+    // --- Step 1: vectorization basis V --------------------------------
+    std::vector<uint64_t> vec = f2::intersectSpans(aReg, bReg, d);
+    const int maxVecBytes = maxVecBytesOverride > 0
+                                ? maxVecBytesOverride
+                                : spec.maxVectorBits / 8;
+    const int maxVecBits =
+        std::max(0, log2Exact(static_cast<uint64_t>(maxVecBytes)) -
+                        log2Exact(static_cast<uint64_t>(elemBytes)));
+    if (static_cast<int>(vec.size()) > maxVecBits)
+        vec.resize(static_cast<size_t>(maxVecBits));
+    const int v = static_cast<int>(vec.size());
+
+    // --- Step 2: bank space size --------------------------------------
+    const int vecBytes = (1 << v) * elemBytes;
+    const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
+    int bBits = vecBytes >= totalBankBytes
+                    ? 0
+                    : log2Exact(static_cast<uint64_t>(totalBankBytes /
+                                                      vecBytes));
+    bBits = std::min(bBits, d - v);
+    const int sBits = d - v - bBits;
+
+    // Vectorized accesses wider than one bank split transactions, so the
+    // last log2(vecBytes/4) thread bits fall outside the 128-byte window
+    // and do not contribute to bank conflicts (Appendix 9.2).
+    const int removeCount =
+        vecBytes > spec.bankWidthBytes
+            ? log2Exact(static_cast<uint64_t>(vecBytes /
+                                              spec.bankWidthBytes))
+            : 0;
+    // Shrink on the per-bit basis list (high lane *bits* cross
+    // transactions, whether or not they broadcast), then drop zeros.
+    auto shrinkThreadBits = [&](const LinearLayout &l) {
+        std::vector<uint64_t> cols;
+        if (l.hasInDim(dims::kLane))
+            cols = l.flattenedBases(dims::kLane);
+        int keep = std::max<int>(
+            0, static_cast<int>(cols.size()) - removeCount);
+        cols.resize(static_cast<size_t>(keep));
+        std::vector<uint64_t> nonzero;
+        for (uint64_t x : cols) {
+            if (x != 0)
+                nonzero.push_back(x);
+        }
+        return nonzero;
+    };
+    auto aBank = shrinkThreadBits(a);
+    auto bBank = shrinkThreadBits(b);
+
+    // --- Step 3: segment-index basis with trivial intersection vs P ---
+    auto e = setDifference(aBank, bBank);
+    auto f = setDifference(bBank, aBank);
+    if (e.size() > f.size())
+        std::swap(e, f);
+    std::sort(e.begin(), e.end());
+    std::sort(f.begin(), f.end());
+    std::vector<uint64_t> h;
+    for (size_t i = 0; i < e.size(); ++i)
+        h.push_back(e[i] ^ f[i]);
+
+    std::vector<uint64_t> pAll = vec;
+    pAll.insert(pAll.end(), aBank.begin(), aBank.end());
+    pAll.insert(pAll.end(), bBank.begin(), bBank.end());
+    auto c = f2::complementBasis(pAll, d);
+
+    f2::EchelonBasis chosen(vec);
+
+    // Sub-word elements (2^v * w < bank width): the low offset bits
+    // select a byte *within* a bank word. Fill them so that lane pairs
+    // that must diverge land in different bytes of one word (shared
+    // thread columns I) or in different banks (H pairs, whose partner
+    // column lands in the bank region) — this removes the conflicts the
+    // paper's Lemma 9.4 leaves open in its "not enough vectorization"
+    // case.
+    const int wordBits =
+        vecBytes < spec.bankWidthBytes
+            ? log2Exact(static_cast<uint64_t>(spec.bankWidthBytes /
+                                              vecBytes))
+            : 0;
+    std::vector<uint64_t> word;
+    {
+        auto addWord = [&](const std::vector<uint64_t> &cands) {
+            for (uint64_t cand : cands) {
+                if (static_cast<int>(word.size()) >= wordBits)
+                    return;
+                if (chosen.insert(cand))
+                    word.push_back(cand);
+            }
+        };
+        std::vector<uint64_t> shared = setDifference(
+            aBank, setDifference(aBank, bBank)); // aBank ^ bBank
+        addWord(shared);
+        addWord(h);
+        addWord(c);
+        addWord(bBank);
+        addWord(aBank);
+        std::vector<uint64_t> units;
+        for (int iu = 0; iu < d; ++iu)
+            units.push_back(uint64_t(1) << iu);
+        addWord(units);
+    }
+    llAssert(static_cast<int>(word.size()) ==
+                 std::min(wordBits, d - v),
+             "failed to fill the word-internal bits");
+
+    std::vector<uint64_t> idx;
+    auto tryAdd = [&](const std::vector<uint64_t> &cands) {
+        for (uint64_t cand : cands) {
+            if (static_cast<int>(idx.size()) >= sBits)
+                return;
+            if (chosen.insert(cand))
+                idx.push_back(cand);
+        }
+    };
+    tryAdd(h);
+    tryAdd(c);
+    if (static_cast<int>(idx.size()) < sBits) {
+        // Bank conflicts are unavoidable; fill from A's thread columns
+        // (penalizing reads and writes symmetrically), then anything.
+        tryAdd(aBank);
+        std::vector<uint64_t> units;
+        for (int i = 0; i < d; ++i)
+            units.push_back(uint64_t(1) << i);
+        tryAdd(units);
+    }
+    llAssert(static_cast<int>(idx.size()) == sBits,
+             "failed to complete the segment basis");
+
+    // --- Step 4: bank columns complete the basis -----------------------
+    // Any completion minimizes conflicts equally (Lemma 9.4 only depends
+    // on Vec and Idx), so prefer the reader's then the writer's thread
+    // columns: that keeps each 4-byte-per-lane group contiguous in the
+    // offset space, which is exactly what lets ldmatrix/stmatrix tiles
+    // divide the conversion (Section 5.3).
+    const int bankCount = bBits - static_cast<int>(word.size());
+    std::vector<uint64_t> vecAndIdx = vec;
+    vecAndIdx.insert(vecAndIdx.end(), word.begin(), word.end());
+    vecAndIdx.insert(vecAndIdx.end(), idx.begin(), idx.end());
+    f2::EchelonBasis bankEch(vecAndIdx);
+    std::vector<uint64_t> bank;
+    auto addBank = [&](const std::vector<uint64_t> &cands) {
+        for (uint64_t cand : cands) {
+            if (static_cast<int>(bank.size()) >= bankCount)
+                return;
+            if (bankEch.insert(cand))
+                bank.push_back(cand);
+        }
+    };
+    addBank(bBank);
+    addBank(aBank);
+    {
+        std::vector<uint64_t> units;
+        for (int iu = 0; iu < d; ++iu)
+            units.push_back(uint64_t(1) << iu);
+        addBank(units);
+    }
+    llAssert(static_cast<int>(bank.size()) == bankCount,
+             "bank completion produced " << bank.size() << " columns, "
+                                         << "expected " << bankCount);
+
+    // --- Assemble M: offset bit order [Vec | Word | Bank | Idx] --------
+    f2::F2Matrix m(d, d);
+    int col = 0;
+    for (uint64_t x : vec)
+        m.setCol(col++, x);
+    for (uint64_t x : word)
+        m.setCol(col++, x);
+    for (uint64_t x : bank)
+        m.setCol(col++, x);
+    for (uint64_t x : idx)
+        m.setCol(col++, x);
+
+    SwizzledShared out;
+    out.memLayout = LinearLayout::fromF2Matrix(
+        m, {{dims::kOffset, int32_t(1) << d}}, a.getOutDims(),
+        /*requireSurjective=*/true);
+    out.tensorToOffset = out.memLayout.invert();
+    out.vecBits = v;
+    out.bankBits = bBits;
+    out.idxBits = sBits;
+    return out;
+}
+
+SwizzledShared
+wrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
+                 const LinearLayout &b, int elemBytes,
+                 const sim::GpuSpec &spec)
+{
+    llUserCheck(mem.isInvertible(), "memory layout must be invertible");
+    LinearLayout aligned = mem.transposeOuts(a.getOutDimNames());
+    const int d = aligned.getTotalOutDimSizeLog2();
+
+    // Vectorization: low offset columns shared by both register spans.
+    f2::EchelonBasis aRegSpan(nonzeroColumns(a, dims::kReg));
+    f2::EchelonBasis bRegSpan(nonzeroColumns(
+        b.transposeOuts(a.getOutDimNames()), dims::kReg));
+    auto cols = aligned.flattenedBases(dims::kOffset);
+    int v = 0;
+    const int maxVecBits =
+        std::max(0, log2Exact(static_cast<uint64_t>(
+                        spec.maxVectorBits / 8)) -
+                        log2Exact(static_cast<uint64_t>(elemBytes)));
+    while (v < static_cast<int>(cols.size()) && v < maxVecBits &&
+           aRegSpan.contains(cols[static_cast<size_t>(v)]) &&
+           bRegSpan.contains(cols[static_cast<size_t>(v)])) {
+        ++v;
+    }
+
+    SwizzledShared out;
+    out.memLayout = aligned;
+    out.tensorToOffset = aligned.invert();
+    out.vecBits = v;
+    const int vecBytes = (1 << v) * elemBytes;
+    const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
+    int bBits = vecBytes >= totalBankBytes
+                    ? 0
+                    : log2Exact(static_cast<uint64_t>(totalBankBytes /
+                                                      vecBytes));
+    out.bankBits = std::min(bBits, d - v);
+    out.idxBits = d - v - out.bankBits;
+    return out;
+}
+
+int64_t
+analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
+                   int elemBytes, const sim::GpuSpec &spec)
+{
+    // Align to the swizzle's output order so flattened columns agree.
+    LinearLayout dist =
+        distIn.transposeOuts(swz.memLayout.getOutDimNames());
+    const int d = swz.memLayout.getTotalInDimSizeLog2();
+
+    // Sub-word accesses (vec narrower than a bank word) fall outside
+    // Lemma 9.4's counting argument; measure a representative access on
+    // the simulator instead (conflicts are identical across register
+    // groups and warps by linearity).
+    if (swz.vecElems() * elemBytes < spec.bankWidthBytes &&
+        dist.hasInDim(dims::kLane)) {
+        auto offsets = warpAccessOffsets(swz, dist, 0, 0,
+                                         dist.getInDimSize(dims::kLane));
+        std::vector<int64_t> byteAddrs;
+        byteAddrs.reserve(offsets.size());
+        for (int64_t o : offsets)
+            byteAddrs.push_back(o * elemBytes);
+        return sim::SharedMemory::countWavefronts(
+            spec, byteAddrs, swz.vecElems() * elemBytes);
+    }
+    // Recover S_Vec and S_Idx from the offset bit ranges.
+    auto cols = swz.memLayout.flattenedBases(dims::kOffset);
+    std::vector<uint64_t> vecIdxCols(cols.begin(),
+                                     cols.begin() + swz.vecBits);
+    vecIdxCols.insert(vecIdxCols.end(),
+                      cols.begin() + swz.vecBits + swz.bankBits,
+                      cols.end());
+    // High lane bits land in separate 128-byte transactions (the A_Bank
+    // shrink of Appendix 9.2), so only the low thread columns can
+    // conflict within one wavefront.
+    std::vector<uint64_t> lThr;
+    if (dist.hasInDim(dims::kLane))
+        lThr = dist.flattenedBases(dims::kLane);
+    const int vecBytes = swz.vecElems() * elemBytes;
+    const int removeCount =
+        vecBytes > spec.bankWidthBytes
+            ? log2Exact(static_cast<uint64_t>(vecBytes /
+                                              spec.bankWidthBytes))
+            : 0;
+    if (static_cast<int>(lThr.size()) > removeCount) {
+        lThr.resize(lThr.size() - static_cast<size_t>(removeCount));
+    } else {
+        lThr.clear();
+    }
+    std::erase(lThr, uint64_t(0));
+    auto inter = f2::intersectSpans(vecIdxCols, lThr, d);
+    int64_t c = int64_t(1) << inter.size();
+    int64_t n = std::max<int64_t>(
+        1, static_cast<int64_t>(vecBytes) / spec.bankWidthBytes);
+    return n * c;
+}
+
+std::vector<int64_t>
+warpAccessOffsets(const SwizzledShared &swz, const LinearLayout &distIn,
+                  int32_t repBase, int32_t warp, int warpSize)
+{
+    LinearLayout dist =
+        distIn.transposeOuts(swz.memLayout.getOutDimNames());
+    const int regLog = dist.getInDimSizeLog2(dims::kReg);
+    const int laneLog = dist.getInDimSizeLog2(dims::kLane);
+    llAssert(warpSize == (1 << laneLog),
+             "layout lane count does not match warp size");
+    std::vector<int64_t> offsets;
+    offsets.reserve(static_cast<size_t>(warpSize));
+    const uint64_t vecMask = static_cast<uint64_t>(swz.vecElems()) - 1;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        uint64_t in = static_cast<uint64_t>(repBase) |
+                      (static_cast<uint64_t>(lane) << regLog) |
+                      (static_cast<uint64_t>(warp) << (regLog + laneLog));
+        uint64_t x = dist.applyFlat(in);
+        uint64_t off = swz.tensorToOffset.applyFlat(x);
+        offsets.push_back(static_cast<int64_t>(off & ~vecMask));
+    }
+    return offsets;
+}
+
+} // namespace codegen
+} // namespace ll

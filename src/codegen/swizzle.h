@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Optimal shared-memory swizzling (Section 5.4, Appendix 9.2).
+ *
+ * Given two distributed layouts A (writer) and B (reader) over the same
+ * logical tensor, compute a shared-memory layout
+ *     M : Vec x Bank x Idx -> F2^d
+ * that maximizes read/write vectorization and provably minimizes bank
+ * conflicts (Lemmas 9.4-9.6):
+ *
+ *  1. Vec = a basis of span(A_Reg) ^ span(B_Reg), capped at the 128-bit
+ *     access width, becomes the low offset bits so both sides vectorize.
+ *  2. The bank-index columns Idx are chosen with trivial intersection
+ *     against P = span(Vec u A_Bank) u span(Vec u B_Bank), using the
+ *     H = {e_i xor f_i} construction plus a complement basis C.
+ *  3. Bank completes the basis.
+ *
+ * The module also provides the Lemma 9.4 analytic wavefront count and the
+ * address calculation used by the simulator.
+ */
+
+#ifndef LL_CODEGEN_SWIZZLE_H
+#define LL_CODEGEN_SWIZZLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/linear_layout.h"
+#include "sim/gpu_spec.h"
+
+namespace ll {
+namespace codegen {
+
+/** A shared-memory layout produced by the optimal-swizzle algorithm. */
+struct SwizzledShared
+{
+    /** offset -> logical tensor; invertible; bases ordered Vec, Bank,
+     *  Idx. */
+    LinearLayout memLayout;
+    /** tensor -> offset, the inverse map used for address generation. */
+    LinearLayout tensorToOffset;
+    int vecBits = 0;  ///< log2 of the vectorization (elements)
+    int bankBits = 0; ///< log2 of elements covering all banks
+    int idxBits = 0;  ///< log2 of the segment count
+
+    int vecElems() const { return 1 << vecBits; }
+};
+
+/**
+ * Run the optimal-swizzle algorithm for conversion A -> B with elements
+ * of elemBytes width. Both layouts must be surjective distributed
+ * layouts over the same output space.
+ */
+SwizzledShared computeOptimalSwizzle(const LinearLayout &a,
+                                     const LinearLayout &b, int elemBytes,
+                                     const sim::GpuSpec &spec,
+                                     int maxVecBytesOverride = 0);
+
+/**
+ * Wrap an arbitrary invertible memory layout (e.g. the legacy
+ * vec/perPhase/maxPhase mma swizzle) as a SwizzledShared usable by the
+ * executors: the vectorization is the largest run of low offset columns
+ * lying in both layouts' register spans, and the bank/idx split follows
+ * the same 128-byte rule as the optimal construction.
+ */
+SwizzledShared wrapMemoryLayout(const LinearLayout &mem,
+                                const LinearLayout &a,
+                                const LinearLayout &b, int elemBytes,
+                                const sim::GpuSpec &spec);
+
+/**
+ * Lemma 9.4: the analytic number of wavefronts per warp access when a
+ * distributed layout reads/writes through `swz`. Returns n * c where
+ * c = |span(S_Vec u S_Idx) ^ span(L_Thr)| and n is the number of banks
+ * each vectorized element covers (>= 1).
+ */
+int64_t analyticWavefronts(const SwizzledShared &swz,
+                           const LinearLayout &dist, int elemBytes,
+                           const sim::GpuSpec &spec);
+
+/**
+ * Per-lane element offsets for one vectorized warp access: lane l of
+ * `dist` (at the given warp and register-group rep) accesses
+ * swz.vecElems() consecutive elements starting at the returned offset.
+ * `repBase` enumerates the register groups: it is the register index
+ * with the vectorized bits cleared.
+ */
+std::vector<int64_t> warpAccessOffsets(const SwizzledShared &swz,
+                                       const LinearLayout &dist,
+                                       int32_t repBase, int32_t warp,
+                                       int warpSize);
+
+} // namespace codegen
+} // namespace ll
+
+#endif // LL_CODEGEN_SWIZZLE_H

@@ -1,0 +1,44 @@
+#include "codegen/vectorize.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace ll {
+namespace codegen {
+
+std::string
+MemoryInstruction::toString() const
+{
+    return "v" + std::to_string(vecWords) + ".b" + std::to_string(wordBits);
+}
+
+MemoryInstruction
+selectMemoryInstruction(const LinearLayout &layout, int elemBits,
+                        int maxVectorBits)
+{
+    int bits = accessBitwidth(layout, elemBits, maxVectorBits);
+    MemoryInstruction inst;
+    if (bits <= 32) {
+        inst.vecWords = 1;
+        inst.wordBits = bits;
+    } else {
+        inst.vecWords = bits / 32;
+        inst.wordBits = 32;
+    }
+    return inst;
+}
+
+int
+accessBitwidth(const LinearLayout &layout, int elemBits, int maxVectorBits)
+{
+    int64_t contig = layout.getNumConsecutiveInOut();
+    int64_t bits = contig * elemBits;
+    bits = std::min<int64_t>(bits, maxVectorBits);
+    // Instructions exist for 8/16/32/64/128 bits; round down to one.
+    bits = int64_t(1) << log2Floor(static_cast<uint64_t>(bits));
+    return static_cast<int>(std::max<int64_t>(bits, elemBits));
+}
+
+} // namespace codegen
+} // namespace ll

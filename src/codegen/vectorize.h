@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Vectorization analysis for global memory accesses (Section 5.1).
+ *
+ * Given a distributed layout, the number of tensor elements that are
+ * consecutive in memory *and* consecutive in one thread's registers
+ * bounds the width of the load/store instruction the compiler may emit.
+ * Legacy Triton derived this from a per-layout "fastest dimension"
+ * heuristic that breaks when contiguity spans dimensions (Table 3); with
+ * linear layouts it reduces to LinearLayout::getNumConsecutiveInOut().
+ */
+
+#ifndef LL_CODEGEN_VECTORIZE_H
+#define LL_CODEGEN_VECTORIZE_H
+
+#include <string>
+
+#include "layout/linear_layout.h"
+
+namespace ll {
+namespace codegen {
+
+/** A PTX-style vectorized memory instruction, e.g. v4.b32. */
+struct MemoryInstruction
+{
+    int vecWords = 1;  ///< vector arity (1, 2, or 4)
+    int wordBits = 32; ///< width of each word in bits
+
+    int totalBits() const { return vecWords * wordBits; }
+
+    /** Render as "v<N>.b<W>", the notation used in Table 3. */
+    std::string toString() const;
+
+    bool
+    operator==(const MemoryInstruction &o) const
+    {
+        return vecWords == o.vecWords && wordBits == o.wordBits;
+    }
+};
+
+/**
+ * Pick the widest legal load/store instruction for a layout accessing a
+ * tensor of elemBits-wide elements laid out with the same minor-to-major
+ * order as the layout's output dims.
+ */
+MemoryInstruction selectMemoryInstruction(const LinearLayout &layout,
+                                          int elemBits,
+                                          int maxVectorBits = 128);
+
+/** Bits accessed per instruction by the chosen vectorization. */
+int accessBitwidth(const LinearLayout &layout, int elemBits,
+                   int maxVectorBits = 128);
+
+} // namespace codegen
+} // namespace ll
+
+#endif // LL_CODEGEN_VECTORIZE_H

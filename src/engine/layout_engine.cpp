@@ -1,0 +1,321 @@
+#include "engine/layout_engine.h"
+
+#include <algorithm>
+
+#include "codegen/shuffle.h"
+#include "engine/shape_transfer.h"
+#include "layout/dims.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace engine {
+
+namespace {
+
+using ir::OpKind;
+
+/** Safe no-op test: layouts with different spaces simply are not. */
+bool
+isNoOpConversion(const LinearLayout &have, const LinearLayout &want)
+{
+    try {
+        return codegen::conversionIsNoOp(
+            have, want.transposeOuts(have.getOutDimNames()));
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+LinearLayout
+LayoutEngine::anchorForMemory(const ir::TensorType &type) const
+{
+    int vec = std::max(1, 128 / bitWidth(type.dtype));
+    auto enc = triton::BlockedEncoding::makeDefault(
+        type.shape, options_.numWarps, options_.spec.warpSize, vec);
+    return enc.toLinearLayout(type.shape);
+}
+
+LinearLayout
+LayoutEngine::dotResultLayout(const ir::TensorType &accType,
+                              int operandBits) const
+{
+    const auto &shape = accType.shape;
+    if (options_.spec.warpSize == 64) {
+        triton::MfmaEncoding enc;
+        int32_t wM = std::min<int32_t>(options_.numWarps,
+                                       std::max(shape[0] / 32, 1));
+        enc.warpsPerCta = {wM, options_.numWarps / wM};
+        return enc.toLinearLayout(shape);
+    }
+    triton::MmaEncoding enc;
+    if (options_.spec.hasWgmma && shape[0] >= 64 && operandBits <= 16 &&
+        options_.numWarps >= 4) {
+        enc.version = 3;
+        enc.instrN = std::min<int32_t>(shape[1], 256);
+        int32_t groups = options_.numWarps / 4;
+        int32_t gM = std::min<int32_t>(groups, std::max(shape[0] / 64, 1));
+        enc.warpsPerCta = {4 * gM, groups / gM};
+    } else {
+        enc.version = 2;
+        int32_t wM = std::min<int32_t>(options_.numWarps,
+                                       std::max(shape[0] / 16, 1));
+        enc.warpsPerCta = {wM, std::max(options_.numWarps / wM, 1)};
+    }
+    return enc.toLinearLayout(shape);
+}
+
+LinearLayout
+LayoutEngine::dotOperandLayout(const ir::TensorType &operandType,
+                               const ir::TensorType &accType, int opIdx,
+                               int operandBits) const
+{
+    triton::DotOperandEncoding enc;
+    if (options_.spec.warpSize == 64) {
+        // Model the mfma operand path with the v2 tile over 32 lanes
+        // plus lane broadcast; for cost purposes the conversion through
+        // shared memory dominates either way. Use the v2 construction.
+        enc.parent.version = 2;
+    } else if (options_.spec.hasWgmma && accType.shape[0] >= 64 &&
+               operandBits <= 16 && options_.numWarps >= 4) {
+        enc.parent.version = 3;
+    } else {
+        enc.parent.version = 2;
+    }
+    // Match the warp distribution chosen for the result.
+    if (enc.parent.version == 3) {
+        int32_t groups = options_.numWarps / 4;
+        int32_t gM = std::min<int32_t>(
+            groups, std::max(accType.shape[0] / 64, 1));
+        enc.parent.warpsPerCta = {4 * gM, groups / gM};
+    } else {
+        int32_t wM = std::min<int32_t>(
+            options_.numWarps, std::max(accType.shape[0] / 16, 1));
+        enc.parent.warpsPerCta = {wM,
+                                  std::max(options_.numWarps / wM, 1)};
+    }
+    enc.opIdx = opIdx;
+    enc.bitwidth = std::clamp(operandBits, 8, 32);
+    return enc.toLinearLayout(operandType.shape);
+}
+
+void
+LayoutEngine::ensureOperand(ir::Function &f, int opIdx, size_t slot,
+                            const LinearLayout &want, EngineStats &stats)
+{
+    int v = f.op(opIdx).operands[slot];
+    const auto &have = f.value(v).layout;
+    llAssert(have.has_value(), "operand has no layout yet");
+    if (isNoOpConversion(*have, want))
+        return;
+    int nv = f.convertLayout(v, want);
+    f.op(opIdx).operands[slot] = nv;
+    ++stats.convertsInserted;
+}
+
+void
+LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
+{
+    const int numOps = f.numOps();
+    for (int i = 0; i < numOps; ++i) {
+        // Work on a copy: inserting ConvertLayout ops reallocates the
+        // function's op and value storage, so references into it would
+        // dangle across ensureOperand calls.
+        ir::Op o = f.op(i);
+        if (o.erased || o.kind == OpKind::ConvertLayout)
+            continue;
+        auto layoutOf = [&](size_t slot) -> LinearLayout {
+            const auto &l = f.value(f.op(i).operands[slot]).layout;
+            llAssert(l.has_value(), "missing operand layout");
+            return *l;
+        };
+        switch (o.kind) {
+          case OpKind::Load:
+          case OpKind::Constant:
+            f.value(o.results[0]).layout =
+                anchorForMemory(f.value(o.results[0]).type);
+            break;
+          case OpKind::Store:
+            break; // any layout can be stored
+          case OpKind::Elementwise: {
+            LinearLayout want = layoutOf(0);
+            for (size_t s = 1; s < o.operands.size(); ++s)
+                ensureOperand(f, i, s, want, stats);
+            f.value(o.results[0]).layout = want;
+            break;
+          }
+          case OpKind::Dot: {
+            const auto ta = f.value(o.operands[0]).type;
+            const auto tb = f.value(o.operands[1]).type;
+            const auto tacc = f.value(o.results[0]).type;
+            int bits = std::max(bitWidth(ta.dtype), bitWidth(tb.dtype));
+            if (bits > 32) {
+                // No tensor-core path: FMA dot on blocked layouts.
+                f.op(i).tag = o.tag.empty() ? "fma" : o.tag + "/fma";
+                f.value(o.results[0]).layout = anchorForMemory(tacc);
+                break;
+            }
+            ensureOperand(f, i, 0,
+                          dotOperandLayout(ta, tacc, 0, bits), stats);
+            ensureOperand(f, i, 1,
+                          dotOperandLayout(tb, tacc, 1, bits), stats);
+            f.value(o.results[0]).layout = dotResultLayout(tacc, bits);
+            break;
+          }
+          case OpKind::Reduce:
+            f.value(o.results[0]).layout =
+                reduceTransfer(layoutOf(0), o.axis);
+            break;
+          case OpKind::Trans:
+            f.value(o.results[0]).layout =
+                transTransfer(layoutOf(0), o.order);
+            break;
+          case OpKind::Reshape:
+            f.value(o.results[0]).layout = reshapeTransfer(
+                layoutOf(0), f.value(o.results[0]).type.shape);
+            break;
+          case OpKind::ExpandDims:
+            f.value(o.results[0]).layout =
+                expandDimsTransfer(layoutOf(0), o.axis);
+            break;
+          case OpKind::Broadcast:
+            f.value(o.results[0]).layout = broadcastTransfer(
+                layoutOf(0), f.value(o.results[0]).type.shape);
+            break;
+          case OpKind::Join: {
+            LinearLayout want = layoutOf(0);
+            ensureOperand(f, i, 1, want, stats);
+            f.value(o.results[0]).layout = joinTransfer(want);
+            break;
+          }
+          case OpKind::Split: {
+            LinearLayout split = splitTransfer(layoutOf(0));
+            f.value(o.results[0]).layout = split;
+            f.value(o.results[1]).layout = split;
+            break;
+          }
+          case OpKind::Gather: {
+            LinearLayout want = layoutOf(0);
+            ensureOperand(f, i, 1, want, stats);
+            f.value(o.results[0]).layout = want;
+            break;
+          }
+          case OpKind::Scan:
+            // Scans are layout-preserving; the lowering (shuffles or
+            // shared memory) is a cost-model concern.
+            f.value(o.results[0]).layout = layoutOf(0);
+            break;
+          case OpKind::ConvertLayout:
+            break;
+        }
+    }
+}
+
+void
+LayoutEngine::cleanup(ir::Function &f, EngineStats &stats)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < f.numOps(); ++i) {
+            ir::Op &o = f.op(i);
+            if (o.erased || o.kind != OpKind::ConvertLayout)
+                continue;
+            int srcV = o.operands[0];
+            int dstV = o.results[0];
+
+            // Collapse chains: convert(convert(x)) -> convert(x).
+            const ir::Value &src = f.value(srcV);
+            if (src.defOp >= 0 &&
+                f.op(src.defOp).kind == OpKind::ConvertLayout &&
+                !f.op(src.defOp).erased) {
+                o.operands[0] = f.op(src.defOp).operands[0];
+                changed = true;
+                continue;
+            }
+
+            // Hoist through broadcast: if the wanted layout projected
+            // onto the pre-broadcast (size-1) dims is already the
+            // input's layout, the broadcast can produce the wanted
+            // layout directly — a classic rematerialization the legacy
+            // system could not prove safe. Only when this convert is
+            // the sole consumer of the broadcast.
+            if (src.defOp >= 0 &&
+                f.op(src.defOp).kind == OpKind::Broadcast &&
+                !f.op(src.defOp).erased) {
+                int uses = 0;
+                for (int j = 0; j < f.numOps(); ++j) {
+                    if (f.op(j).erased)
+                        continue;
+                    for (int use : f.op(j).operands)
+                        uses += use == srcV;
+                }
+                const ir::Op &bop = f.op(src.defOp);
+                int x = bop.operands[0];
+                const auto &xLayout = f.value(x).layout;
+                const auto &wantBL = f.value(dstV).layout;
+                if (uses == 1 && xLayout && wantBL &&
+                    f.value(srcV).layout != wantBL) {
+                    LinearLayout proj = projectToUnitDims(
+                        *wantBL, f.value(x).type.shape);
+                    if (isNoOpConversion(*xLayout, proj)) {
+                        f.value(srcV).layout = *wantBL;
+                        changed = true;
+                        continue; // no-op rule fires on a later sweep
+                    }
+                }
+            }
+
+            // No-op conversions: rewire every use and tombstone.
+            const auto &haveL = f.value(o.operands[0]).layout;
+            const auto &wantL = f.value(dstV).layout;
+            if (haveL && wantL && isNoOpConversion(*haveL, *wantL)) {
+                for (int j = 0; j < f.numOps(); ++j) {
+                    if (j == i || f.op(j).erased)
+                        continue;
+                    for (int &use : f.op(j).operands) {
+                        if (use == dstV)
+                            use = o.operands[0];
+                    }
+                }
+                o.erased = true;
+                ++stats.convertsEliminated;
+                changed = true;
+            }
+        }
+
+        // Dead converts (results never used).
+        for (int i = 0; i < f.numOps(); ++i) {
+            ir::Op &o = f.op(i);
+            if (o.erased || o.kind != OpKind::ConvertLayout)
+                continue;
+            int dstV = o.results[0];
+            bool used = false;
+            for (int j = 0; j < f.numOps() && !used; ++j) {
+                if (f.op(j).erased || j == i)
+                    continue;
+                for (int use : f.op(j).operands)
+                    used = used || use == dstV;
+            }
+            if (!used) {
+                o.erased = true;
+                ++stats.convertsEliminated;
+                changed = true;
+            }
+        }
+    }
+}
+
+EngineStats
+LayoutEngine::run(ir::Function &f)
+{
+    EngineStats stats;
+    assignForward(f, stats);
+    cleanup(f, stats);
+    f.verify();
+    return stats;
+}
+
+} // namespace engine
+} // namespace ll

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Triton's layout engine rebuilt on linear layouts (Section 4.4).
+ *
+ * The engine assigns *anchor* layouts — default blocked layouts at
+ * global loads/stores and MMA / MMA-input layouts at dots — then
+ * propagates layouts forward through the remaining ops using the
+ * Section 4.4 transfer functions, inserting ConvertLayout ops where an
+ * operand arrives in the wrong layout. A cleanup pass then removes
+ * conversions that linear layouts can prove to be no-ops (including
+ * across layout *kinds*, which the legacy system could not compare) and
+ * hoists conversions through shape ops when that turns them into no-ops
+ * (rematerialization).
+ */
+
+#ifndef LL_ENGINE_LAYOUT_ENGINE_H
+#define LL_ENGINE_LAYOUT_ENGINE_H
+
+#include "ir/function.h"
+#include "sim/gpu_spec.h"
+
+namespace ll {
+namespace engine {
+
+struct EngineOptions
+{
+    sim::GpuSpec spec = sim::GpuSpec::gh200();
+    int numWarps = 4;
+};
+
+struct EngineStats
+{
+    int convertsInserted = 0;
+    int convertsEliminated = 0;
+};
+
+class LayoutEngine
+{
+  public:
+    explicit LayoutEngine(EngineOptions options)
+        : options_(std::move(options))
+    {
+    }
+
+    /** Annotate every value with a layout; insert and clean up
+     *  conversions. Returns what happened. */
+    EngineStats run(ir::Function &f);
+
+    /** The blocked anchor layout the engine assigns at loads/stores. */
+    LinearLayout anchorForMemory(const ir::TensorType &type) const;
+
+    /** The MMA/MFMA output layout chosen for a dot of this shape. */
+    LinearLayout dotResultLayout(const ir::TensorType &accType,
+                                 int operandBits) const;
+
+    /** The MMA-input layout for operand opIdx of such a dot. */
+    LinearLayout dotOperandLayout(const ir::TensorType &operandType,
+                                  const ir::TensorType &accType,
+                                  int opIdx, int operandBits) const;
+
+  private:
+    void assignForward(ir::Function &f, EngineStats &stats);
+    void cleanup(ir::Function &f, EngineStats &stats);
+
+    /** Convert operand `slot` of op `opIdx` to `want` unless it is
+     *  already there (modulo broadcast). */
+    void ensureOperand(ir::Function &f, int opIdx, size_t slot,
+                       const LinearLayout &want, EngineStats &stats);
+
+    EngineOptions options_;
+};
+
+} // namespace engine
+} // namespace ll
+
+#endif // LL_ENGINE_LAYOUT_ENGINE_H

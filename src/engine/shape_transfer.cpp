@@ -1,0 +1,130 @@
+#include "engine/shape_transfer.h"
+
+#include "layout/dims.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace engine {
+
+LinearLayout
+canonicalizeMinorToMajor(const LinearLayout &layout, int rank)
+{
+    std::vector<std::string> order;
+    for (int d = rank - 1; d >= 0; --d)
+        order.push_back(dims::out(d));
+    return layout.transposeOuts(order);
+}
+
+LinearLayout
+transTransfer(const LinearLayout &in, const std::vector<int32_t> &order)
+{
+    const int rank = static_cast<int>(order.size());
+    // Two-phase rename to avoid collisions: dim{order[j]} -> tmp{j},
+    // then tmp{j} -> dim{j}.
+    LinearLayout out = in;
+    for (int j = 0; j < rank; ++j)
+        out = out.renameOutDim(dims::out(order[j]),
+                               "tmp" + std::to_string(j));
+    for (int j = 0; j < rank; ++j)
+        out = out.renameOutDim("tmp" + std::to_string(j), dims::out(j));
+    return canonicalizeMinorToMajor(out, rank);
+}
+
+LinearLayout
+reshapeTransfer(const LinearLayout &in, const ir::Shape &newShape)
+{
+    const int rank = static_cast<int>(newShape.size());
+    LinearLayout flat = in.flattenOutsToDim("lin");
+    std::vector<LinearLayout::DimSize> outDims;
+    for (int d = rank - 1; d >= 0; --d)
+        outDims.emplace_back(dims::out(d),
+                             newShape[static_cast<size_t>(d)]);
+    return flat.reshapeOuts(outDims);
+}
+
+LinearLayout
+expandDimsTransfer(const LinearLayout &in, int axis)
+{
+    const int rank = in.getNumOutDims();
+    LinearLayout out = in;
+    for (int k = rank - 1; k >= axis; --k)
+        out = out.renameOutDim(dims::out(k), dims::out(k + 1));
+    out = out * LinearLayout::identity1D(1, dims::kReg, dims::out(axis));
+    return canonicalizeMinorToMajor(out, rank + 1);
+}
+
+LinearLayout
+broadcastTransfer(const LinearLayout &in, const ir::Shape &newShape)
+{
+    const int rank = static_cast<int>(newShape.size());
+    LinearLayout out = in;
+    for (int d = 0; d < rank; ++d) {
+        int32_t cur = out.getOutDimSize(dims::out(d));
+        int32_t want = newShape[static_cast<size_t>(d)];
+        if (cur < want) {
+            out = out * LinearLayout::identity1D(want / cur, dims::kReg,
+                                                 dims::out(d));
+        }
+    }
+    return canonicalizeMinorToMajor(out, rank);
+}
+
+LinearLayout
+joinTransfer(const LinearLayout &in)
+{
+    const int rank = in.getNumOutDims();
+    LinearLayout out =
+        LinearLayout::identity1D(2, dims::kReg, dims::out(rank)) * in;
+    return canonicalizeMinorToMajor(out, rank + 1);
+}
+
+LinearLayout
+splitTransfer(const LinearLayout &in)
+{
+    const int rank = in.getNumOutDims();
+    LinearLayout sliced = triton::sliceLayout(in, rank - 1);
+    sliced = sliced.removeZeroBasesAlongDim(dims::kReg);
+    return canonicalizeMinorToMajor(sliced, rank - 1);
+}
+
+LinearLayout
+reduceTransfer(const LinearLayout &in, int axis)
+{
+    const int rank = in.getNumOutDims();
+    LinearLayout sliced = triton::sliceLayout(in, axis);
+    return canonicalizeMinorToMajor(sliced, rank - 1);
+}
+
+LinearLayout
+projectToUnitDims(const LinearLayout &layout, const ir::Shape &preShape)
+{
+    LinearLayout::BasesT newBases;
+    auto outNames = layout.getOutDimNames();
+    std::vector<bool> squash(outNames.size(), false);
+    std::vector<LinearLayout::DimSize> newOuts;
+    for (size_t j = 0; j < outNames.size(); ++j) {
+        int d = std::stoi(outNames[j].substr(3));
+        squash[j] = preShape[static_cast<size_t>(d)] == 1;
+        newOuts.emplace_back(outNames[j],
+                             squash[j]
+                                 ? 1
+                                 : layout.getOutDimSize(outNames[j]));
+    }
+    for (const auto &inDim : layout.getInDimNames()) {
+        std::vector<std::vector<int32_t>> vecs;
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(inDim); ++i) {
+            std::vector<int32_t> basis = layout.getBasis(inDim, i);
+            for (size_t j = 0; j < basis.size(); ++j) {
+                if (squash[j])
+                    basis[j] = 0;
+            }
+            vecs.push_back(std::move(basis));
+        }
+        newBases.insert(inDim, std::move(vecs));
+    }
+    return LinearLayout(std::move(newBases), std::move(newOuts),
+                        /*requireSurjective=*/false);
+}
+
+} // namespace engine
+} // namespace ll

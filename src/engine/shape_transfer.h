@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Layout transfer functions for Triton's shape operators (Section 4.4,
+ * Theorem 9.3).
+ *
+ * For every shape operation and every input distributed layout there is
+ * an output layout making the operation a data-movement no-op; these
+ * functions compute it. IR values store their layouts with output dims
+ * in row-major minor-to-major order: for a rank-r tensor the layout's
+ * out dims are [dim(r-1), ..., dim0], the first being the fastest-moving
+ * in memory.
+ */
+
+#ifndef LL_ENGINE_SHAPE_TRANSFER_H
+#define LL_ENGINE_SHAPE_TRANSFER_H
+
+#include "ir/types.h"
+#include "layout/linear_layout.h"
+
+namespace ll {
+namespace engine {
+
+/** Reorder a layout's out dims to canonical minor-to-major for rank r:
+ *  [dim(r-1), ..., dim0]. */
+LinearLayout canonicalizeMinorToMajor(const LinearLayout &layout, int rank);
+
+/** Output layout of tt.trans for the given input layout. order[j] names
+ *  the input dim that becomes output dim j. */
+LinearLayout transTransfer(const LinearLayout &in,
+                           const std::vector<int32_t> &order);
+
+/** Output layout of a row-major tt.reshape. */
+LinearLayout reshapeTransfer(const LinearLayout &in,
+                             const ir::Shape &newShape);
+
+/** Output layout of tt.expand_dims inserting a size-1 dim at axis. */
+LinearLayout expandDimsTransfer(const LinearLayout &in, int axis);
+
+/** Output layout of tt.broadcast: stretched dims are covered by new
+ *  registers replicating the data (Section 5.1). */
+LinearLayout broadcastTransfer(const LinearLayout &in,
+                               const ir::Shape &newShape);
+
+/** Output layout of tt.join: the new minor dim comes from one fresh
+ *  register bit. */
+LinearLayout joinTransfer(const LinearLayout &in);
+
+/** Output layout of tt.split (both halves share it). */
+LinearLayout splitTransfer(const LinearLayout &in);
+
+/** Output layout of a reduction along `axis` (a sliced layout). */
+LinearLayout reduceTransfer(const LinearLayout &in, int axis);
+
+/**
+ * Project a layout of a broadcast *result* back onto the pre-broadcast
+ * value: dims that are 1 in `preShape` get zeroed basis coordinates and
+ * size 1. If the projection is a no-op conversion from the input's
+ * layout, the broadcast can produce the result layout directly and the
+ * conversion above it folds away.
+ */
+LinearLayout projectToUnitDims(const LinearLayout &layout,
+                               const ir::Shape &preShape);
+
+} // namespace engine
+} // namespace ll
+
+#endif // LL_ENGINE_SHAPE_TRANSFER_H

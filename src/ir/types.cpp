@@ -1,0 +1,106 @@
+#include "ir/types.h"
+
+#include <sstream>
+
+namespace ll {
+namespace ir {
+
+int
+bitWidth(DType t)
+{
+    switch (t) {
+      case DType::F8:
+      case DType::I8:
+      case DType::E8M0:
+        return 8;
+      case DType::F16:
+      case DType::BF16:
+      case DType::I16:
+        return 16;
+      case DType::F32:
+      case DType::I32:
+        return 32;
+      case DType::F64:
+      case DType::I64:
+        return 64;
+      case DType::I4:
+      case DType::MXFP4:
+        return 4;
+    }
+    llPanic("unknown dtype");
+}
+
+int
+byteWidth(DType t)
+{
+    return (bitWidth(t) + 7) / 8;
+}
+
+bool
+isFloat(DType t)
+{
+    switch (t) {
+      case DType::F8:
+      case DType::F16:
+      case DType::BF16:
+      case DType::F32:
+      case DType::F64:
+      case DType::MXFP4:
+      case DType::E8M0:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isInteger(DType t)
+{
+    return !isFloat(t);
+}
+
+std::string
+toString(DType t)
+{
+    switch (t) {
+      case DType::F8:
+        return "f8";
+      case DType::F16:
+        return "f16";
+      case DType::BF16:
+        return "bf16";
+      case DType::F32:
+        return "f32";
+      case DType::F64:
+        return "f64";
+      case DType::I8:
+        return "i8";
+      case DType::I16:
+        return "i16";
+      case DType::I32:
+        return "i32";
+      case DType::I64:
+        return "i64";
+      case DType::I4:
+        return "i4";
+      case DType::MXFP4:
+        return "mxfp4";
+      case DType::E8M0:
+        return "e8m0";
+    }
+    llPanic("unknown dtype");
+}
+
+std::string
+TensorType::toString() const
+{
+    std::ostringstream oss;
+    oss << "tensor<";
+    for (size_t i = 0; i < shape.size(); ++i)
+        oss << shape[i] << "x";
+    oss << ir::toString(dtype) << ">";
+    return oss.str();
+}
+
+} // namespace ir
+} // namespace ll

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Element types and tensor types for the mini tensor IR.
+ *
+ * This IR stands in for Triton's ttg dialect in the evaluation: kernels
+ * are graphs of tensor ops whose values carry (power-of-two) shapes,
+ * element types, and — once the layout engine has run — linear layouts.
+ * The dtype list covers everything the paper's experiments touch,
+ * including the 4-bit microscaling format used by the mixed-precision
+ * benchmarks (Section 5.2, Figure 6).
+ */
+
+#ifndef LL_IR_TYPES_H
+#define LL_IR_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace ir {
+
+enum class DType
+{
+    F8,    ///< 8-bit float (e4m3/e5m2 behave identically here)
+    F16,
+    BF16,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    I4,    ///< packed 4-bit integer (int4 GEMM weights)
+    MXFP4, ///< 4-bit microscaling float (32 elements share a scale)
+    E8M0,  ///< 8-bit shared exponent (the MXFP4 scale type)
+};
+
+int bitWidth(DType t);
+
+/** Bytes per element, rounding sub-byte types up to one byte. */
+int byteWidth(DType t);
+
+bool isFloat(DType t);
+bool isInteger(DType t);
+std::string toString(DType t);
+
+using Shape = std::vector<int32_t>;
+
+struct TensorType
+{
+    DType dtype = DType::F32;
+    Shape shape;
+
+    int rank() const { return static_cast<int>(shape.size()); }
+
+    int64_t
+    numElements() const
+    {
+        int64_t n = 1;
+        for (int32_t s : shape)
+            n *= s;
+        return n;
+    }
+
+    bool
+    operator==(const TensorType &o) const
+    {
+        return dtype == o.dtype && shape == o.shape;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace ir
+} // namespace ll
+
+#endif // LL_IR_TYPES_H

@@ -1,0 +1,192 @@
+#include "layout/affine_layout.h"
+
+#include <sstream>
+
+#include "support/bits.h"
+#include "support/string_utils.h"
+
+namespace ll {
+
+AffineLayout::AffineLayout(LinearLayout linear)
+    : linear_(std::move(linear)),
+      shift_(static_cast<size_t>(linear_.getNumOutDims()), 0)
+{
+}
+
+AffineLayout::AffineLayout(LinearLayout linear, std::vector<int32_t> shift)
+    : linear_(std::move(linear)), shift_(std::move(shift))
+{
+    auto outs = linear_.getOutDims();
+    llUserCheck(shift_.size() == outs.size(),
+                "affine shift arity must match output dims");
+    for (size_t j = 0; j < shift_.size(); ++j) {
+        llUserCheck(shift_[j] >= 0 && shift_[j] < outs[j].second,
+                    "affine shift out of range for dim "
+                        << outs[j].first);
+    }
+}
+
+AffineLayout
+AffineLayout::flip(const LinearLayout &linear, const std::string &outDim)
+{
+    std::vector<int32_t> shift(
+        static_cast<size_t>(linear.getNumOutDims()), 0);
+    auto outs = linear.getOutDims();
+    bool found = false;
+    for (size_t j = 0; j < outs.size(); ++j) {
+        if (outs[j].first == outDim) {
+            // size is a power of two, so size-1 is the all-ones mask
+            // and c -> size-1-c is exactly c ^ (size-1).
+            shift[j] = outs[j].second - 1;
+            found = true;
+        }
+    }
+    llUserCheck(found, "flip: no output dim named " << outDim);
+    return AffineLayout(linear, std::move(shift));
+}
+
+AffineLayout
+AffineLayout::slice(const LinearLayout &linear, const std::string &outDim,
+                    int32_t offset, int32_t newSize)
+{
+    llUserCheck(isPowerOf2(static_cast<uint64_t>(newSize)),
+                "slice size must be a power of two");
+    llUserCheck(offset % newSize == 0,
+                "slice offset must be aligned to its size so that "
+                "addition coincides with XOR");
+    std::vector<int32_t> shift(
+        static_cast<size_t>(linear.getNumOutDims()), 0);
+    auto outs = linear.getOutDims();
+    bool found = false;
+    for (size_t j = 0; j < outs.size(); ++j) {
+        if (outs[j].first == outDim) {
+            llUserCheck(offset + newSize <= outs[j].second,
+                        "slice exceeds dim " << outDim);
+            shift[j] = offset;
+            found = true;
+        }
+    }
+    llUserCheck(found, "slice: no output dim named " << outDim);
+    return AffineLayout(linear, std::move(shift));
+}
+
+bool
+AffineLayout::isLinear() const
+{
+    for (int32_t s : shift_) {
+        if (s != 0)
+            return false;
+    }
+    return true;
+}
+
+std::vector<LinearLayout::DimSize>
+AffineLayout::apply(const std::vector<LinearLayout::DimSize> &ins) const
+{
+    auto out = linear_.apply(ins);
+    for (size_t j = 0; j < out.size(); ++j)
+        out[j].second ^= shift_[j];
+    return out;
+}
+
+uint64_t
+AffineLayout::flatShift() const
+{
+    uint64_t flat = 0;
+    int pos = 0;
+    auto outs = linear_.getOutDims();
+    for (size_t j = 0; j < outs.size(); ++j) {
+        flat |= static_cast<uint64_t>(shift_[j]) << pos;
+        pos += log2Exact(static_cast<uint64_t>(outs[j].second));
+    }
+    return flat;
+}
+
+uint64_t
+AffineLayout::applyFlat(uint64_t in) const
+{
+    return linear_.applyFlat(in) ^ flatShift();
+}
+
+AffineLayout
+AffineLayout::compose(const AffineLayout &outer) const
+{
+    LinearLayout newLinear = linear_.compose(outer.linear_);
+    // (A2 (A1 x + b1) + b2): feed b1 through outer's linear part.
+    std::vector<LinearLayout::DimSize> b1;
+    auto outs = linear_.getOutDims();
+    for (size_t j = 0; j < outs.size(); ++j)
+        b1.emplace_back(outs[j].first, shift_[j]);
+    // outer.linear wants its own in-dim order.
+    std::vector<LinearLayout::DimSize> ordered;
+    for (const auto &name : outer.linear_.getInDimNames()) {
+        for (const auto &c : b1) {
+            if (c.first == name)
+                ordered.push_back(c);
+        }
+    }
+    auto image = outer.linear_.apply(ordered);
+    std::vector<int32_t> newShift;
+    for (size_t j = 0; j < image.size(); ++j)
+        newShift.push_back(image[j].second ^ outer.shift_[j]);
+    return AffineLayout(std::move(newLinear), std::move(newShift));
+}
+
+AffineLayout
+AffineLayout::invert() const
+{
+    LinearLayout inv = linear_.invert();
+    // x = A^-1 y + A^-1 b.
+    auto outs = linear_.getOutDims();
+    std::vector<LinearLayout::DimSize> b;
+    for (size_t j = 0; j < outs.size(); ++j)
+        b.emplace_back(outs[j].first, shift_[j]);
+    auto image = inv.apply(b);
+    std::vector<int32_t> newShift;
+    for (size_t j = 0; j < image.size(); ++j)
+        newShift.push_back(image[j].second);
+    return AffineLayout(std::move(inv), std::move(newShift));
+}
+
+AffineLayout
+AffineLayout::invertAndCompose(const AffineLayout &outer) const
+{
+    LinearLayout conv = linear_.invertAndCompose(outer.linear_);
+    // B z + b2 = A x + b1  =>  z = B^-1 A x + B^-1 (b1 + b2).
+    LinearLayout aligned =
+        outer.linear_.transposeOuts(linear_.getOutDimNames());
+    auto outs = linear_.getOutDims();
+    auto outerNames = outer.linear_.getOutDimNames();
+    std::vector<LinearLayout::DimSize> diff;
+    for (size_t j = 0; j < outs.size(); ++j) {
+        // Align outer's shift to this's out order by name.
+        int32_t other = 0;
+        for (size_t k = 0; k < outerNames.size(); ++k) {
+            if (outerNames[k] == outs[j].first)
+                other = outer.shift_[k];
+        }
+        diff.emplace_back(outs[j].first, shift_[j] ^ other);
+    }
+    auto image = aligned.pseudoinvert().apply(diff);
+    std::vector<int32_t> newShift;
+    for (size_t j = 0; j < image.size(); ++j)
+        newShift.push_back(image[j].second);
+    return AffineLayout(std::move(conv), std::move(newShift));
+}
+
+bool
+AffineLayout::operator==(const AffineLayout &other) const
+{
+    return linear_ == other.linear_ && shift_ == other.shift_;
+}
+
+std::string
+AffineLayout::toString() const
+{
+    std::ostringstream oss;
+    oss << linear_.toString();
+    oss << "affine shift: " << ll::toString(shift_) << "\n";
+    return oss.str();
+}
+
+} // namespace ll

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Affine layouts: y = A x (+) b over F2.
+ *
+ * Section 8 of the paper notes that flipping and slicing are not
+ * expressible as linear layouts but are captured by the simple
+ * extension to *affine* maps — a linear layout plus a constant offset
+ * XORed into the output. This module implements that extension: an
+ * AffineLayout wraps a LinearLayout with a per-output-dimension shift
+ * vector and supports the operations whose affine generalizations are
+ * well defined (application, composition, inversion, conversion maps).
+ *
+ * Affine layouts compose with everything else through their linear
+ * part: the shift only relabels which logical element each resource
+ * holds, so conversion planning between two affine layouts with equal
+ * shifts reduces to the linear case, and a pure flip is a conversion
+ * whose plan is an XOR on register/lane indices — no data movement
+ * through memory at all when the flipped bits stay inside a thread.
+ */
+
+#ifndef LL_LAYOUT_AFFINE_LAYOUT_H
+#define LL_LAYOUT_AFFINE_LAYOUT_H
+
+#include "layout/linear_layout.h"
+
+namespace ll {
+
+class AffineLayout
+{
+  public:
+    AffineLayout() = default;
+
+    /** Wrap a linear layout with a zero shift. */
+    explicit AffineLayout(LinearLayout linear);
+
+    /**
+     * Full constructor: shift holds one coordinate per output dim (in
+     * the linear part's output order) that is XORed into every image.
+     */
+    AffineLayout(LinearLayout linear, std::vector<int32_t> shift);
+
+    /**
+     * The layout of a tensor flipped along `outDim`: every coordinate c
+     * becomes size-1-c. Since sizes are powers of two, size-1 is the
+     * all-ones mask and the flip is the XOR by it — affine, as Section
+     * 8 promises.
+     */
+    static AffineLayout flip(const LinearLayout &linear,
+                             const std::string &outDim);
+
+    /**
+     * The layout of the slice [offset, offset + newSize) of `outDim`,
+     * viewed in the coordinates of the slice (element i of the slice is
+     * parent element offset + i). Requires offset to be a multiple of
+     * newSize (an aligned power-of-two slice), in which case addition
+     * coincides with XOR and the map is affine.
+     */
+    static AffineLayout slice(const LinearLayout &linear,
+                              const std::string &outDim, int32_t offset,
+                              int32_t newSize);
+
+    const LinearLayout &linear() const { return linear_; }
+    const std::vector<int32_t> &shift() const { return shift_; }
+    bool isLinear() const;
+
+    /** Apply: linear part, then XOR the shift into each coordinate. */
+    std::vector<LinearLayout::DimSize>
+    apply(const std::vector<LinearLayout::DimSize> &ins) const;
+
+    uint64_t applyFlat(uint64_t in) const;
+
+    /**
+     * Composition outer . this for an affine outer and affine inner:
+     * (A2 (A1 x + b1) + b2) = (A2 A1) x + (A2 b1 + b2).
+     */
+    AffineLayout compose(const AffineLayout &outer) const;
+
+    /** Inverse: x = A^-1 y + A^-1 b. Requires an invertible linear
+     *  part. */
+    AffineLayout invert() const;
+
+    /**
+     * The conversion map outer^-1 . this between two affine layouts
+     * over the same output space: an affine map from this's input
+     * space to outer's. For equal shifts it degenerates to the linear
+     * conversion; for a pure flip it is the identity matrix with a
+     * nonzero input-space shift — i.e. an XOR of hardware indices.
+     */
+    AffineLayout invertAndCompose(const AffineLayout &outer) const;
+
+    bool operator==(const AffineLayout &other) const;
+    bool operator!=(const AffineLayout &o) const { return !(*this == o); }
+
+    std::string toString() const;
+
+  private:
+    uint64_t flatShift() const;
+
+    LinearLayout linear_;
+    std::vector<int32_t> shift_; // one entry per output dim
+};
+
+} // namespace ll
+
+#endif // LL_LAYOUT_AFFINE_LAYOUT_H

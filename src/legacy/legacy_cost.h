@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Legacy-Triton pricing of an engine-annotated kernel.
+ *
+ * Reuses the same IR and layout annotations as the linear-layout cost
+ * model but applies the legacy code-generation rules: every layout
+ * conversion round-trips through padded shared memory (no no-op
+ * detection, no register permutes, no warp shuffles, no
+ * ldmatrix/stmatrix), global vectorization comes from the fastest-dim
+ * heuristic, and reductions store duplicated data. The Figure 9
+ * benchmarks compare this against engine::estimateKernelCost.
+ */
+
+#ifndef LL_LEGACY_LEGACY_COST_H
+#define LL_LEGACY_LEGACY_COST_H
+
+#include "engine/cost_model.h"
+#include "ir/function.h"
+#include "sim/gpu_spec.h"
+
+namespace ll {
+namespace legacy {
+
+/**
+ * Legacy vectorization width in bits for a layout: contiguity counted
+ * only within the fastest output dimension.
+ */
+int legacyAccessBitwidth(const LinearLayout &layout, int elemBits,
+                         int maxVectorBits = 128);
+
+/** Price an annotated function under the legacy rules. */
+engine::KernelCost estimateLegacyKernelCost(const ir::Function &f,
+                                            const sim::GpuSpec &spec,
+                                            int numWarps = 4);
+
+} // namespace legacy
+} // namespace ll
+
+#endif // LL_LEGACY_LEGACY_COST_H

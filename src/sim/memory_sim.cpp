@@ -1,0 +1,175 @@
+#include "sim/memory_sim.h"
+
+#include <map>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace sim {
+
+SharedMemory::SharedMemory(const GpuSpec &spec, int elemBytes,
+                           int64_t numElems)
+    : spec_(spec), elemBytes_(elemBytes),
+      cells_(static_cast<size_t>(numElems), ~uint64_t(0))
+{
+    llUserCheck(elemBytes >= 1 && elemBytes <= 8,
+                "element width must be 1..8 bytes");
+    llUserCheck(numElems * elemBytes <= spec.sharedMemPerCta,
+                "shared allocation of " << numElems * elemBytes
+                    << " bytes exceeds the " << spec.sharedMemPerCta
+                    << "-byte CTA limit of " << spec.name);
+}
+
+int64_t
+SharedMemory::countWavefronts(const GpuSpec &spec,
+                              const std::vector<int64_t> &byteAddrs,
+                              int accessBytes)
+{
+    // A warp request is issued in groups of lanes such that each group
+    // moves at most wavefrontBytes; within a group, lanes touching
+    // different words of the same bank serialize.
+    const int wordBytes = spec.bankWidthBytes;
+    const int lanesPerGroup =
+        std::max(1, spec.wavefrontBytes / std::max(accessBytes, 1));
+    int64_t wavefronts = 0;
+    for (size_t base = 0; base < byteAddrs.size();
+         base += static_cast<size_t>(lanesPerGroup)) {
+        // bank -> set of distinct word addresses requested in this group
+        std::map<int, std::set<int64_t>> wordsPerBank;
+        bool anyActive = false;
+        for (size_t l = base;
+             l < std::min(byteAddrs.size(),
+                          base + static_cast<size_t>(lanesPerGroup));
+             ++l) {
+            if (byteAddrs[l] == kInactiveLane)
+                continue;
+            anyActive = true;
+            int64_t first = byteAddrs[l] / wordBytes;
+            int64_t last = (byteAddrs[l] + accessBytes - 1) / wordBytes;
+            for (int64_t w = first; w <= last; ++w)
+                wordsPerBank[static_cast<int>(w % spec.numBanks)].insert(w);
+        }
+        if (!anyActive)
+            continue;
+        size_t worst = 1;
+        for (const auto &[bank, words] : wordsPerBank) {
+            (void)bank;
+            worst = std::max(worst, words.size());
+        }
+        wavefronts += static_cast<int64_t>(worst);
+    }
+    return wavefronts;
+}
+
+int64_t
+SharedMemory::countTransactions(const GpuSpec &spec,
+                                const std::vector<int64_t> &byteAddrs,
+                                int accessBytes)
+{
+    const int lanesPerGroup =
+        std::max(1, spec.wavefrontBytes / std::max(accessBytes, 1));
+    int64_t transactions = 0;
+    for (size_t base = 0; base < byteAddrs.size();
+         base += static_cast<size_t>(lanesPerGroup)) {
+        for (size_t l = base;
+             l < std::min(byteAddrs.size(),
+                          base + static_cast<size_t>(lanesPerGroup));
+             ++l) {
+            if (byteAddrs[l] != kInactiveLane) {
+                ++transactions;
+                break;
+            }
+        }
+    }
+    return transactions;
+}
+
+void
+SharedMemory::account(const std::vector<int64_t> &elemOffsets, int vecElems,
+                      AccessStats &stats) const
+{
+    std::vector<int64_t> byteAddrs;
+    byteAddrs.reserve(elemOffsets.size());
+    for (int64_t off : elemOffsets) {
+        byteAddrs.push_back(off == kInactiveLane ? kInactiveLane
+                                                 : off * elemBytes_);
+    }
+    stats.instructions += 1;
+    stats.transactions +=
+        countTransactions(spec_, byteAddrs, vecElems * elemBytes_);
+    stats.wavefronts +=
+        countWavefronts(spec_, byteAddrs, vecElems * elemBytes_);
+}
+
+void
+SharedMemory::warpStore(const std::vector<int64_t> &elemOffsets,
+                        int vecElems,
+                        const std::vector<std::vector<uint64_t>> &values,
+                        AccessStats &stats)
+{
+    llAssert(values.size() == elemOffsets.size(),
+             "one value vector per lane required");
+    account(elemOffsets, vecElems, stats);
+    for (size_t l = 0; l < elemOffsets.size(); ++l) {
+        if (elemOffsets[l] == kInactiveLane)
+            continue;
+        llAssert(values[l].size() == static_cast<size_t>(vecElems),
+                 "store width mismatch");
+        for (int v = 0; v < vecElems; ++v)
+            poke(elemOffsets[l] + v, values[l][static_cast<size_t>(v)]);
+    }
+}
+
+std::vector<std::vector<uint64_t>>
+SharedMemory::warpLoad(const std::vector<int64_t> &elemOffsets, int vecElems,
+                       AccessStats &stats)
+{
+    account(elemOffsets, vecElems, stats);
+    std::vector<std::vector<uint64_t>> out(elemOffsets.size());
+    for (size_t l = 0; l < elemOffsets.size(); ++l) {
+        if (elemOffsets[l] == kInactiveLane)
+            continue;
+        out[l].reserve(static_cast<size_t>(vecElems));
+        for (int v = 0; v < vecElems; ++v)
+            out[l].push_back(peek(elemOffsets[l] + v));
+    }
+    return out;
+}
+
+uint64_t
+SharedMemory::peek(int64_t elemOffset) const
+{
+    llAssert(elemOffset >= 0 && elemOffset < numElems(),
+             "shared memory offset " << elemOffset << " out of range");
+    return cells_[static_cast<size_t>(elemOffset)];
+}
+
+void
+SharedMemory::poke(int64_t elemOffset, uint64_t value)
+{
+    llAssert(elemOffset >= 0 && elemOffset < numElems(),
+             "shared memory offset " << elemOffset << " out of range");
+    cells_[static_cast<size_t>(elemOffset)] = value;
+}
+
+int64_t
+GlobalMemory::countSectors(const std::vector<int64_t> &byteAddrs,
+                           int accessBytes) const
+{
+    (void)spec_;
+    constexpr int64_t kSectorBytes = 32;
+    std::set<int64_t> sectors;
+    for (int64_t addr : byteAddrs) {
+        if (addr == kInactiveLane)
+            continue;
+        int64_t first = addr / kSectorBytes;
+        int64_t last = (addr + accessBytes - 1) / kSectorBytes;
+        for (int64_t s = first; s <= last; ++s)
+            sectors.insert(s);
+    }
+    return static_cast<int64_t>(sectors.size());
+}
+
+} // namespace sim
+} // namespace ll

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Counting models of GPU memory systems.
+ *
+ * SharedMemory models a banked scratchpad: a warp access is split into
+ * 128-byte transactions, and within each transaction lanes that touch
+ * different words of the same bank serialize into extra wavefronts —
+ * exactly the quantity Lemma 9.4 of the paper reasons about. The class
+ * both *carries data* (so conversion plans can be executed and checked
+ * for correctness) and *counts wavefronts* (so benchmarks can report
+ * costs).
+ *
+ * GlobalMemory models DRAM coalescing: a warp access costs one 32-byte
+ * sector per distinct sector touched, which is what the Table 3
+ * vectorization experiments measure.
+ */
+
+#ifndef LL_SIM_MEMORY_SIM_H
+#define LL_SIM_MEMORY_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_spec.h"
+
+namespace ll {
+namespace sim {
+
+/** Aggregate access counters. */
+struct AccessStats
+{
+    int64_t instructions = 0; ///< warp-wide memory instructions issued
+    int64_t transactions = 0; ///< 128-byte transaction slots
+    int64_t wavefronts = 0;   ///< serialized wavefronts (>= transactions)
+
+    AccessStats &
+    operator+=(const AccessStats &o)
+    {
+        instructions += o.instructions;
+        transactions += o.transactions;
+        wavefronts += o.wavefronts;
+        return *this;
+    }
+};
+
+/** Inactive-lane marker for warp-wide accesses. */
+inline constexpr int64_t kInactiveLane = -1;
+
+class SharedMemory
+{
+  public:
+    SharedMemory(const GpuSpec &spec, int elemBytes, int64_t numElems);
+
+    int64_t numElems() const { return static_cast<int64_t>(cells_.size()); }
+    int elemBytes() const { return elemBytes_; }
+
+    /**
+     * One warp-wide vectorized store: lane l writes values[l] (vecElems
+     * elements) at consecutive element offsets starting at
+     * elemOffsets[l]. Offsets must be vecElems-aligned.
+     */
+    void warpStore(const std::vector<int64_t> &elemOffsets, int vecElems,
+                   const std::vector<std::vector<uint64_t>> &values,
+                   AccessStats &stats);
+
+    /** One warp-wide vectorized load; inactive lanes get empty vectors. */
+    std::vector<std::vector<uint64_t>>
+    warpLoad(const std::vector<int64_t> &elemOffsets, int vecElems,
+             AccessStats &stats);
+
+    uint64_t peek(int64_t elemOffset) const;
+    void poke(int64_t elemOffset, uint64_t value);
+
+    /**
+     * Count the wavefronts of one warp access where lane l touches
+     * accessBytes consecutive bytes starting at byteAddrs[l]
+     * (kInactiveLane = idle). Pure counting; no data movement.
+     */
+    static int64_t countWavefronts(const GpuSpec &spec,
+                                   const std::vector<int64_t> &byteAddrs,
+                                   int accessBytes);
+
+    /** Transaction count for the same access (the no-conflict floor). */
+    static int64_t countTransactions(const GpuSpec &spec,
+                                     const std::vector<int64_t> &byteAddrs,
+                                     int accessBytes);
+
+  private:
+    void account(const std::vector<int64_t> &elemOffsets, int vecElems,
+                 AccessStats &stats) const;
+
+    const GpuSpec &spec_;
+    int elemBytes_;
+    std::vector<uint64_t> cells_;
+};
+
+class GlobalMemory
+{
+  public:
+    explicit GlobalMemory(const GpuSpec &spec) : spec_(spec) {}
+
+    /**
+     * Number of 32-byte sectors touched by a warp access where lane l
+     * reads accessBytes at byteAddrs[l].
+     */
+    int64_t countSectors(const std::vector<int64_t> &byteAddrs,
+                         int accessBytes) const;
+
+  private:
+    const GpuSpec &spec_;
+};
+
+} // namespace sim
+} // namespace ll
+
+#endif // LL_SIM_MEMORY_SIM_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the F2 algebra and layout code.
+ *
+ * All layout math in this library operates on power-of-two sized spaces,
+ * so "log2 of an exact power of two" and "is this a power of two" come up
+ * constantly. These wrappers add the assertions that the <bit> intrinsics
+ * omit.
+ */
+
+#ifndef LL_SUPPORT_BITS_H
+#define LL_SUPPORT_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+
+/** True iff x is a (positive) power of two. */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of an exact power of two; asserts on other inputs. */
+inline int
+log2Exact(uint64_t x)
+{
+    llAssert(isPowerOf2(x), "log2Exact(" << x << "): not a power of two");
+    return std::countr_zero(x);
+}
+
+/** Ceiling of log2; log2Ceil(0) and log2Ceil(1) are both 0. */
+constexpr int
+log2Ceil(uint64_t x)
+{
+    if (x <= 1)
+        return 0;
+    return 64 - std::countl_zero(x - 1);
+}
+
+/** Floor of log2 for x >= 1. */
+inline int
+log2Floor(uint64_t x)
+{
+    llAssert(x >= 1, "log2Floor(0) undefined");
+    return 63 - std::countl_zero(x);
+}
+
+/** Number of set bits. */
+constexpr int
+popcount(uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** Extract bit i of x as 0 or 1. */
+constexpr uint64_t
+getBit(uint64_t x, int i)
+{
+    return (x >> i) & 1;
+}
+
+/** Return x with bit i set to v (v must be 0 or 1). */
+constexpr uint64_t
+setBit(uint64_t x, int i, uint64_t v)
+{
+    return (x & ~(uint64_t(1) << i)) | (v << i);
+}
+
+/** Smallest power of two >= x. */
+constexpr uint64_t
+nextPowerOf2(uint64_t x)
+{
+    return uint64_t(1) << log2Ceil(x);
+}
+
+} // namespace ll
+
+#endif // LL_SUPPORT_BITS_H

@@ -1,0 +1,31 @@
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace detail {
+
+std::string
+formatLocation(const char *file, int line, const char *cond)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": check failed: " << cond;
+    return oss.str();
+}
+
+void
+throwLogicError(const char *file, int line, const char *cond,
+                const std::string &msg)
+{
+    std::string full = formatLocation(file, line, cond);
+    if (!msg.empty())
+        full += ": " + msg;
+    throw LogicError(full);
+}
+
+void
+throwUserError(const std::string &msg)
+{
+    throw UserError(msg);
+}
+
+} // namespace detail
+} // namespace ll

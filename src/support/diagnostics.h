@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error reporting primitives for the linear-layouts library.
+ *
+ * Follows the gem5 convention of distinguishing internal invariant
+ * violations (panic-like, thrown as LogicError) from user errors such as
+ * invalid layout parameters (thrown as UserError). Both carry a formatted
+ * message with the source location of the failure.
+ */
+
+#ifndef LL_SUPPORT_DIAGNOSTICS_H
+#define LL_SUPPORT_DIAGNOSTICS_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ll {
+
+/** Internal invariant violation: a bug in this library. */
+class LogicError : public std::logic_error
+{
+  public:
+    explicit LogicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Invalid input from the caller: bad parameters, shapes, etc. */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+std::string formatLocation(const char *file, int line, const char *cond);
+
+[[noreturn]] void throwLogicError(const char *file, int line,
+                                  const char *cond, const std::string &msg);
+
+[[noreturn]] void throwUserError(const std::string &msg);
+
+} // namespace detail
+
+} // namespace ll
+
+/**
+ * Assert an internal invariant. Unlike the C assert macro this is always
+ * enabled: layout algebra bugs produce silently wrong GPU code, so we
+ * always pay the (tiny) cost of the check.
+ */
+#define llAssert(cond, ...)                                                  \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream llAssertOss_;                                 \
+            llAssertOss_ << "" __VA_ARGS__;                                  \
+            ::ll::detail::throwLogicError(__FILE__, __LINE__, #cond,         \
+                                          llAssertOss_.str());               \
+        }                                                                    \
+    } while (false)
+
+/** Report an unrecoverable internal error unconditionally. */
+#define llPanic(...)                                                         \
+    do {                                                                     \
+        std::ostringstream llPanicOss_;                                      \
+        llPanicOss_ << "" __VA_ARGS__;                                       \
+        ::ll::detail::throwLogicError(__FILE__, __LINE__, "panic",           \
+                                      llPanicOss_.str());                    \
+    } while (false)
+
+/** Report a user (caller) error: invalid parameters, shapes, etc. */
+#define llUserCheck(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream llUserOss_;                                   \
+            llUserOss_ << "" __VA_ARGS__;                                    \
+            ::ll::detail::throwUserError(llUserOss_.str());                  \
+        }                                                                    \
+    } while (false)
+
+#endif // LL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * An insertion-ordered associative container.
+ *
+ * Linear layouts have *labeled* input and output dimensions whose order is
+ * semantically meaningful (it determines which dimension is the
+ * fastest-moving one), so the layout core needs a map that iterates in
+ * insertion order. The expected number of dimensions is tiny (2-6), so a
+ * vector with linear search beats any tree or hash structure and keeps
+ * iteration deterministic.
+ */
+
+#ifndef LL_SUPPORT_ORDERED_MAP_H
+#define LL_SUPPORT_ORDERED_MAP_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+
+template <typename K, typename V>
+class OrderedMap
+{
+  public:
+    using value_type = std::pair<K, V>;
+    using iterator = typename std::vector<value_type>::iterator;
+    using const_iterator = typename std::vector<value_type>::const_iterator;
+
+    OrderedMap() = default;
+
+    OrderedMap(std::initializer_list<value_type> init)
+    {
+        for (const auto &kv : init)
+            insert(kv.first, kv.second);
+    }
+
+    bool
+    contains(const K &key) const
+    {
+        return find(key) != end();
+    }
+
+    const_iterator
+    find(const K &key) const
+    {
+        return std::find_if(entries_.begin(), entries_.end(),
+                            [&](const value_type &kv) {
+                                return kv.first == key;
+                            });
+    }
+
+    iterator
+    find(const K &key)
+    {
+        return std::find_if(entries_.begin(), entries_.end(),
+                            [&](const value_type &kv) {
+                                return kv.first == key;
+                            });
+    }
+
+    /** Insert a new key; asserts the key is not already present. */
+    V &
+    insert(const K &key, V value)
+    {
+        llAssert(!contains(key), "duplicate key in OrderedMap");
+        entries_.emplace_back(key, std::move(value));
+        return entries_.back().second;
+    }
+
+    /** Access an existing key; asserts presence. */
+    const V &
+    at(const K &key) const
+    {
+        auto it = find(key);
+        llAssert(it != end(), "OrderedMap: missing key");
+        return it->second;
+    }
+
+    V &
+    at(const K &key)
+    {
+        auto it = find(key);
+        llAssert(it != end(), "OrderedMap: missing key");
+        return it->second;
+    }
+
+    /** Access, inserting a default-constructed value if absent. */
+    V &
+    operator[](const K &key)
+    {
+        auto it = find(key);
+        if (it != end())
+            return it->second;
+        entries_.emplace_back(key, V{});
+        return entries_.back().second;
+    }
+
+    void
+    erase(const K &key)
+    {
+        auto it = find(key);
+        llAssert(it != end(), "OrderedMap: erase of missing key");
+        entries_.erase(it);
+    }
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+    iterator begin() { return entries_.begin(); }
+    iterator end() { return entries_.end(); }
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+    /** Keys in insertion order. */
+    std::vector<K>
+    keys() const
+    {
+        std::vector<K> out;
+        out.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            out.push_back(kv.first);
+        return out;
+    }
+
+    bool
+    operator==(const OrderedMap &other) const
+    {
+        return entries_ == other.entries_;
+    }
+
+  private:
+    std::vector<value_type> entries_;
+};
+
+} // namespace ll
+
+#endif // LL_SUPPORT_ORDERED_MAP_H

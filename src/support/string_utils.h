@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string helpers for diagnostics and layout pretty-printing.
+ */
+
+#ifndef LL_SUPPORT_STRING_UTILS_H
+#define LL_SUPPORT_STRING_UTILS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ll {
+
+/** Join the string form of each element with a separator. */
+template <typename Range>
+std::string
+join(const Range &range, const std::string &sep)
+{
+    std::ostringstream oss;
+    bool first = true;
+    for (const auto &item : range) {
+        if (!first)
+            oss << sep;
+        oss << item;
+        first = false;
+    }
+    return oss.str();
+}
+
+/** Render a vector like [a, b, c]. */
+template <typename T>
+std::string
+toString(const std::vector<T> &v)
+{
+    return "[" + join(v, ", ") + "]";
+}
+
+} // namespace ll
+
+#endif // LL_SUPPORT_STRING_UTILS_H

@@ -1,0 +1,472 @@
+#include "triton/encodings.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace ll {
+namespace triton {
+
+namespace {
+
+using dims::kLane;
+using dims::kOffset;
+using dims::kReg;
+using dims::kWarp;
+
+/** An empty layout that pins the canonical in-dim order reg/lane/warp
+ *  and registers output dim `firstOut`, so products append bits into a
+ *  predictable flattened ordering. */
+LinearLayout
+distributedSeed(const std::string &firstOut)
+{
+    return LinearLayout::identity1D(1, kReg, firstOut) *
+           LinearLayout::identity1D(1, kLane, firstOut) *
+           LinearLayout::identity1D(1, kWarp, firstOut);
+}
+
+/**
+ * Append `count` copies of resource `res` along logical dim d: identity
+ * while the tensor still has room (tracked in `remaining`), broadcast
+ * (zero bases) beyond it — the "tensor replicated to cover the tile"
+ * behaviour of legacy layouts.
+ */
+void
+appendResource(LinearLayout &layout, Shape &remaining, int32_t count,
+               const std::string &res, int d)
+{
+    llUserCheck(isPowerOf2(static_cast<uint64_t>(count)),
+                "resource count must be a power of two");
+    int32_t use = std::min(count, remaining[d]);
+    if (use > 1)
+        layout = layout * LinearLayout::identity1D(use, res, dims::out(d));
+    if (count > use) {
+        layout = layout *
+                 LinearLayout::zeros1D(count / use, res, dims::out(d));
+    }
+    remaining[d] /= use;
+}
+
+/** Make sure every logical dim has an out entry (size >= 1) and reorder
+ *  outs minor-to-major per `order`. */
+LinearLayout
+canonicalizeOuts(LinearLayout layout, const Shape &shape,
+                 const std::vector<int32_t> &order)
+{
+    for (size_t d = 0; d < shape.size(); ++d) {
+        if (!layout.hasOutDim(dims::out(static_cast<int>(d)))) {
+            layout = layout * LinearLayout::identity1D(
+                                  1, kReg, dims::out(static_cast<int>(d)));
+        }
+    }
+    std::vector<std::string> outOrder;
+    for (int32_t d : order)
+        outOrder.push_back(dims::out(d));
+    return layout.transposeOuts(outOrder)
+        .transposeIns({kReg, kLane, kWarp});
+}
+
+/**
+ * Zero every basis coordinate that falls outside `shape` and shrink the
+ * output dims accordingly. This is how an instruction tile larger than
+ * the tensor degrades into a broadcast layout (small-shape MMA support,
+ * cf. Table 5 of the paper).
+ */
+LinearLayout
+clampToShape(const LinearLayout &layout, const Shape &shape)
+{
+    LinearLayout::BasesT newBases;
+    auto outNames = layout.getOutDimNames();
+    std::vector<int32_t> limit;
+    for (const auto &name : outNames) {
+        // Out dims are named dim<k>; recover k.
+        int k = std::stoi(name.substr(3));
+        limit.push_back(shape[k]);
+    }
+    for (const auto &inDim : layout.getInDimNames()) {
+        std::vector<std::vector<int32_t>> vecs;
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(inDim); ++i) {
+            std::vector<int32_t> basis = layout.getBasis(inDim, i);
+            for (size_t j = 0; j < basis.size(); ++j) {
+                if (basis[j] >= limit[j])
+                    basis[j] = 0;
+            }
+            vecs.push_back(std::move(basis));
+        }
+        newBases.insert(inDim, std::move(vecs));
+    }
+    std::vector<LinearLayout::DimSize> newOuts;
+    for (size_t j = 0; j < outNames.size(); ++j) {
+        newOuts.emplace_back(
+            outNames[j],
+            std::min(layout.getOutDimSize(outNames[j]), limit[j]));
+    }
+    return LinearLayout(std::move(newBases), std::move(newOuts),
+                        /*requireSurjective=*/false);
+}
+
+} // namespace
+
+std::vector<int32_t>
+rowMajorOrder(int rank)
+{
+    std::vector<int32_t> order(static_cast<size_t>(rank));
+    for (int i = 0; i < rank; ++i)
+        order[i] = rank - 1 - i;
+    return order;
+}
+
+// ----------------------------------------------------------------------
+// Blocked
+// ----------------------------------------------------------------------
+
+LinearLayout
+BlockedEncoding::toLinearLayout(const Shape &shape) const
+{
+    const size_t rank = shape.size();
+    llUserCheck(sizePerThread.size() == rank &&
+                    threadsPerWarp.size() == rank &&
+                    warpsPerCta.size() == rank && order.size() == rank,
+                "blocked encoding rank mismatch with shape rank " << rank);
+
+    Shape remaining = shape;
+    LinearLayout layout = distributedSeed(dims::out(order[0]));
+    for (int32_t d : order)
+        appendResource(layout, remaining, sizePerThread[d], kReg, d);
+    for (int32_t d : order)
+        appendResource(layout, remaining, threadsPerWarp[d], kLane, d);
+    for (int32_t d : order)
+        appendResource(layout, remaining, warpsPerCta[d], kWarp, d);
+    // Whatever the CTA tile does not cover is replicated into registers.
+    for (int32_t d : order)
+        appendResource(layout, remaining, remaining[d], kReg, d);
+    return canonicalizeOuts(std::move(layout), shape, order);
+}
+
+BlockedEncoding
+BlockedEncoding::makeDefault(const Shape &shape, int numWarps, int warpSize,
+                             int vecWidth)
+{
+    const int rank = static_cast<int>(shape.size());
+    BlockedEncoding enc;
+    enc.order = rowMajorOrder(rank);
+    enc.sizePerThread.assign(rank, 1);
+    enc.threadsPerWarp.assign(rank, 1);
+    enc.warpsPerCta.assign(rank, 1);
+
+    // Vectorize the fastest dim, then fill threads along the fastest
+    // dims, then warps along the remaining (slowest-first preference).
+    Shape remaining = shape;
+    int fast = enc.order[0];
+    enc.sizePerThread[fast] =
+        std::min<int32_t>(vecWidth, remaining[fast]);
+    remaining[fast] /= enc.sizePerThread[fast];
+
+    int threadsLeft = warpSize;
+    for (int32_t d : enc.order) {
+        int32_t use = std::min<int32_t>(threadsLeft, remaining[d]);
+        enc.threadsPerWarp[d] = use;
+        remaining[d] /= use;
+        threadsLeft /= use;
+        if (threadsLeft == 1)
+            break;
+    }
+    // Any leftover threads broadcast along the fastest dim.
+    enc.threadsPerWarp[fast] *= threadsLeft;
+
+    int warpsLeft = numWarps;
+    for (auto it = enc.order.rbegin(); it != enc.order.rend(); ++it) {
+        int32_t use = std::min<int32_t>(warpsLeft, remaining[*it]);
+        enc.warpsPerCta[*it] = use;
+        remaining[*it] /= use;
+        warpsLeft /= use;
+        if (warpsLeft == 1)
+            break;
+    }
+    enc.warpsPerCta[enc.order.back()] *= warpsLeft;
+    return enc;
+}
+
+// ----------------------------------------------------------------------
+// NVIDIA MMA
+// ----------------------------------------------------------------------
+
+LinearLayout
+MmaEncoding::instructionTile() const
+{
+    // The PTX mma.m16n8 accumulator fragment, built as the product of
+    // identity pieces from Appendix 9.1:
+    //   id_1^{Reg,dim1} x id_2^{Thr,dim1} x id_3^{Thr,dim0} x
+    //   id_1^{Reg,dim0}
+    LinearLayout tile = distributedSeed(dims::out(1)) *
+                        LinearLayout::identity1D(2, kReg, dims::out(1)) *
+                        LinearLayout::identity1D(4, kLane, dims::out(1)) *
+                        LinearLayout::identity1D(8, kLane, dims::out(0)) *
+                        LinearLayout::identity1D(2, kReg, dims::out(0));
+    if (version == 3) {
+        // wgmma m64nN: registers repeat along N in steps of 8, and the
+        // four warps of the warp group stack along M.
+        llUserCheck(instrN >= 8 && isPowerOf2(uint64_t(instrN)),
+                    "wgmma instrN must be a power of two >= 8");
+        tile = tile *
+               LinearLayout::identity1D(instrN / 8, kReg, dims::out(1)) *
+               LinearLayout::identity1D(4, kWarp, dims::out(0));
+    }
+    return tile;
+}
+
+LinearLayout
+MmaEncoding::toLinearLayout(const Shape &shape) const
+{
+    llUserCheck(shape.size() == 2, "MMA layouts are 2D");
+    llUserCheck(warpsPerCta.size() == 2, "warpsPerCta must be 2D");
+
+    LinearLayout layout = clampToShape(instructionTile(), shape);
+    Shape remaining = {shape[0] / layout.getOutDimSize(dims::out(0)),
+                       shape[1] / layout.getOutDimSize(dims::out(1))};
+
+    int32_t warpsDim0 =
+        version == 3 ? std::max(warpsPerCta[0] / 4, 1) : warpsPerCta[0];
+    appendResource(layout, remaining, warpsDim0, kWarp, 0);
+    appendResource(layout, remaining, warpsPerCta[1], kWarp, 1);
+
+    // Registers replicate the warp tile across the rest of the tensor,
+    // minor dim first.
+    appendResource(layout, remaining, remaining[1], kReg, 1);
+    appendResource(layout, remaining, remaining[0], kReg, 0);
+    return canonicalizeOuts(std::move(layout), shape, {1, 0});
+}
+
+// ----------------------------------------------------------------------
+// AMD MFMA
+// ----------------------------------------------------------------------
+
+LinearLayout
+MfmaEncoding::instructionTile() const
+{
+    // The CDNA mfma 32x32 accumulator fragment over a 64-lane wavefront:
+    // lanes 0-31 pick the column; each lane holds 4 groups of 4
+    // consecutive rows, with lane bit 5 selecting rows 4-7 of each 8-row
+    // band.
+    return distributedSeed(dims::out(1)) *
+           LinearLayout::identity1D(4, kReg, dims::out(0)) *
+           LinearLayout::identity1D(32, kLane, dims::out(1)) *
+           LinearLayout::identity1D(2, kLane, dims::out(0)) *
+           LinearLayout::identity1D(4, kReg, dims::out(0));
+}
+
+LinearLayout
+MfmaEncoding::toLinearLayout(const Shape &shape) const
+{
+    llUserCheck(shape.size() == 2, "MFMA layouts are 2D");
+    LinearLayout layout = clampToShape(instructionTile(), shape);
+    Shape remaining = {shape[0] / layout.getOutDimSize(dims::out(0)),
+                       shape[1] / layout.getOutDimSize(dims::out(1))};
+    appendResource(layout, remaining, warpsPerCta[0], kWarp, 0);
+    appendResource(layout, remaining, warpsPerCta[1], kWarp, 1);
+    appendResource(layout, remaining, remaining[1], kReg, 1);
+    appendResource(layout, remaining, remaining[0], kReg, 0);
+    return canonicalizeOuts(std::move(layout), shape, {1, 0});
+}
+
+// ----------------------------------------------------------------------
+// Dot operands (MMA inputs)
+// ----------------------------------------------------------------------
+
+LinearLayout
+DotOperandEncoding::instructionTile() const
+{
+    llUserCheck(bitwidth == 8 || bitwidth == 16 || bitwidth == 32,
+                "unsupported dot operand bitwidth " << bitwidth);
+    int32_t packed = 32 / bitwidth; // elements per 32-bit register word
+    LinearLayout tile = LinearLayout::empty();
+    if (opIdx == 0) {
+        // A operand, shape [M, K] (dim0 = M, dim1 = K). Appendix 9.1:
+        // id_{log2(32/b)}^{Reg,1} x id_2^{Thr,1} x id_3^{Thr,0} x
+        // id_1^{Reg,0} x id_1^{Reg,1}
+        tile = distributedSeed(dims::out(1)) *
+               LinearLayout::identity1D(packed, kReg, dims::out(1)) *
+               LinearLayout::identity1D(4, kLane, dims::out(1)) *
+               LinearLayout::identity1D(8, kLane, dims::out(0)) *
+               LinearLayout::identity1D(2, kReg, dims::out(0)) *
+               LinearLayout::identity1D(2, kReg, dims::out(1));
+        if (parent.version == 3) {
+            tile = tile * LinearLayout::identity1D(4, kWarp, dims::out(0));
+        }
+    } else {
+        // B operand, shape [K, N] (dim0 = K, dim1 = N): the transpose of
+        // the A tile with half the registers per thread.
+        tile = distributedSeed(dims::out(0)) *
+               LinearLayout::identity1D(packed, kReg, dims::out(0)) *
+               LinearLayout::identity1D(4, kLane, dims::out(0)) *
+               LinearLayout::identity1D(8, kLane, dims::out(1)) *
+               LinearLayout::identity1D(2, kReg, dims::out(0));
+    }
+    return tile;
+}
+
+LinearLayout
+DotOperandEncoding::toLinearLayout(const Shape &shape) const
+{
+    llUserCheck(shape.size() == 2, "dot operand layouts are 2D");
+    LinearLayout layout = clampToShape(instructionTile(), shape);
+    Shape remaining = {shape[0] / layout.getOutDimSize(dims::out(0)),
+                       shape[1] / layout.getOutDimSize(dims::out(1))};
+
+    // Warps follow the parent MMA distribution on the outer dim and
+    // broadcast over the inner (K) dim so every warp owns the full
+    // reduction (Appendix 9.1).
+    int32_t warpsDim0 = parent.version == 3
+                            ? std::max(parent.warpsPerCta[0] / 4, 1)
+                            : parent.warpsPerCta[0];
+    if (opIdx == 0) {
+        appendResource(layout, remaining, warpsDim0, kWarp, 0);
+        layout = layout * LinearLayout::zeros1D(parent.warpsPerCta[1],
+                                                kWarp, dims::out(1));
+    } else {
+        layout = layout * LinearLayout::zeros1D(warpsDim0, kWarp,
+                                                dims::out(0));
+        appendResource(layout, remaining, parent.warpsPerCta[1], kWarp, 1);
+    }
+
+    // Registers replicate over the remaining K and outer extents.
+    int inner = opIdx == 0 ? 1 : 0;
+    int outer = 1 - inner;
+    appendResource(layout, remaining, remaining[inner], kReg, inner);
+    appendResource(layout, remaining, remaining[outer], kReg, outer);
+    return canonicalizeOuts(std::move(layout), shape, {1, 0});
+}
+
+// ----------------------------------------------------------------------
+// Slice
+// ----------------------------------------------------------------------
+
+LinearLayout
+sliceLayout(const LinearLayout &parent, int axis)
+{
+    const std::string victim = dims::out(axis);
+    llUserCheck(parent.hasOutDim(victim),
+                "sliceLayout: parent has no dim " << axis);
+
+    // Project away the sliced dim, then renumber the remaining dims so
+    // they stay densely named dim0..dim{r-2}.
+    std::vector<std::string> keep;
+    for (const auto &name : parent.getOutDimNames()) {
+        if (name != victim)
+            keep.push_back(name);
+    }
+    LinearLayout sliced = parent.sublayout(parent.getInDimNames(), keep);
+    // Rename dimK -> dim(K-1) for K > axis, in increasing K order.
+    int rank = parent.getNumOutDims();
+    for (int k = axis + 1; k < rank; ++k)
+        sliced = sliced.renameOutDim(dims::out(k), dims::out(k - 1));
+    return sliced;
+}
+
+// ----------------------------------------------------------------------
+// Shared memory layouts
+// ----------------------------------------------------------------------
+
+LinearLayout
+unswizzledSharedLayout(const Shape &shape, const std::vector<int32_t> &order)
+{
+    llUserCheck(order.size() == shape.size(),
+                "unswizzledSharedLayout: order rank mismatch");
+    LinearLayout layout = LinearLayout::empty();
+    for (int32_t d : order) {
+        layout = layout * LinearLayout::identity1D(shape[d], kOffset,
+                                                   dims::out(d));
+    }
+    if (layout.getNumInDims() == 0)
+        layout = LinearLayout::identity1D(1, kOffset, dims::out(order[0]));
+    return layout;
+}
+
+LinearLayout
+mmaSwizzledSharedLayout(const Shape &shape, int32_t vec, int32_t perPhase,
+                        int32_t maxPhase, const std::vector<int32_t> &order)
+{
+    llUserCheck(shape.size() == 2 && order.size() == 2,
+                "mmaSwizzledSharedLayout is 2D");
+    llUserCheck(isPowerOf2(uint64_t(vec)) && isPowerOf2(uint64_t(perPhase)) &&
+                    isPowerOf2(uint64_t(maxPhase)),
+                "swizzle parameters must be powers of two");
+    const int fast = order[0], slow = order[1];
+    const int n = log2Exact(static_cast<uint64_t>(shape[fast]));
+    const int m = log2Exact(static_cast<uint64_t>(shape[slow]));
+
+    // Inverse-swizzle matrix [[I_n, C], [0, I_m]] (Proposition 4.12):
+    // offset low bits map straight onto the fast dim; offset high bits
+    // pick the row and XOR the swizzle vector c_k into the fast dim.
+    std::vector<std::vector<int32_t>> vecs;
+    for (int k = 0; k < n; ++k)
+        vecs.push_back({int32_t(1) << k, 0});
+    for (int k = 0; k < m; ++k) {
+        int64_t phase = ((int64_t(1) << k) / perPhase) % maxPhase;
+        int32_t ck = static_cast<int32_t>(
+            (static_cast<int64_t>(vec) * phase) % (int64_t(1) << n));
+        vecs.push_back({ck, int32_t(1) << k});
+    }
+    LinearLayout::BasesT bases;
+    bases.insert(kOffset, std::move(vecs));
+    return LinearLayout(
+        std::move(bases),
+        {{dims::out(fast), shape[fast]}, {dims::out(slow), shape[slow]}},
+        /*requireSurjective=*/true);
+}
+
+SwizzleParams
+chooseMmaSwizzleParams(int elemBytes, int32_t rowElems)
+{
+    // Legacy-Triton-style parameters: 128-bit vectors, phases sized so a
+    // 128-byte bank wavefront is fully permuted.
+    SwizzleParams p;
+    p.vec = std::max(16 / elemBytes, 1);
+    p.perPhase = std::max<int32_t>(
+        128 / (rowElems * static_cast<int32_t>(elemBytes)), 1);
+    p.maxPhase = std::max<int32_t>(8 / p.perPhase, 1);
+    return p;
+}
+
+// ----------------------------------------------------------------------
+// Family membership (Definitions 4.10 and 4.14)
+// ----------------------------------------------------------------------
+
+bool
+isDistributedLayout(const LinearLayout &layout)
+{
+    if (!layout.isSurjective())
+        return false;
+    std::vector<uint64_t> seen;
+    for (const auto &inDim : layout.getInDimNames()) {
+        for (uint64_t col : layout.flattenedBases(inDim)) {
+            if (popcount(col) > 1)
+                return false;
+            if (col != 0 &&
+                std::find(seen.begin(), seen.end(), col) != seen.end()) {
+                return false;
+            }
+            if (col != 0)
+                seen.push_back(col);
+        }
+    }
+    return true;
+}
+
+bool
+isMemoryLayout(const LinearLayout &layout)
+{
+    if (!layout.isSurjective() || !layout.isInjective())
+        return false;
+    for (const auto &inDim : layout.getInDimNames()) {
+        for (uint64_t col : layout.flattenedBases(inDim)) {
+            int pc = popcount(col);
+            if (pc != 1 && pc != 2)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace triton
+} // namespace ll

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the affine-layout extension (Section 8 of the paper):
+ * flips and aligned slices as y = Ax (+) b, with composition, inversion,
+ * and conversion maps — including the key property that converting
+ * between a layout and its flip is a pure index-XOR with an identity
+ * linear part.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "layout/affine_layout.h"
+#include "layout/dims.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace {
+
+LinearLayout
+sampleLayout(const triton::Shape &shape)
+{
+    triton::BlockedEncoding enc;
+    enc.sizePerThread = {2, 2};
+    enc.threadsPerWarp = {4, 8};
+    enc.warpsPerCta = {2, 2};
+    enc.order = {1, 0};
+    return enc.toLinearLayout(shape);
+}
+
+TEST(AffineLayout, WrappingIsLinear)
+{
+    AffineLayout a(sampleLayout({16, 64}));
+    EXPECT_TRUE(a.isLinear());
+    for (uint64_t v = 0; v < 1024; v += 13)
+        EXPECT_EQ(a.applyFlat(v), a.linear().applyFlat(v));
+}
+
+TEST(AffineLayout, FlipReversesACoordinate)
+{
+    LinearLayout base = sampleLayout({16, 64});
+    AffineLayout flipped = AffineLayout::flip(base, "dim1");
+    EXPECT_FALSE(flipped.isLinear());
+    for (int32_t reg = 0; reg < 4; ++reg) {
+        for (int32_t lane = 0; lane < 32; lane += 5) {
+            auto plain = base.apply({{dims::kReg, reg},
+                                     {dims::kLane, lane},
+                                     {dims::kWarp, 1}});
+            auto flip = flipped.apply({{dims::kReg, reg},
+                                       {dims::kLane, lane},
+                                       {dims::kWarp, 1}});
+            EXPECT_EQ(flip[0].second, 63 - plain[0].second); // dim1
+            EXPECT_EQ(flip[1].second, plain[1].second);      // dim0
+        }
+    }
+}
+
+TEST(AffineLayout, DoubleFlipViaConversionIsIdentity)
+{
+    LinearLayout base = sampleLayout({16, 64});
+    AffineLayout flipped = AffineLayout::flip(base, "dim1");
+    // Converting flipped to flipped is the identity.
+    AffineLayout conv = flipped.invertAndCompose(flipped);
+    EXPECT_TRUE(conv.isLinear());
+    for (uint64_t v = 0; v < 1024; v += 7)
+        EXPECT_EQ(conv.applyFlat(v), v);
+}
+
+TEST(AffineLayout, FlipConversionIsAPureIndexXor)
+{
+    // The promise of the extension: converting between a layout and its
+    // flip needs no memory traffic — the linear part of the conversion
+    // is the identity and only an input-space XOR remains.
+    LinearLayout base = sampleLayout({16, 64});
+    AffineLayout plain(base);
+    AffineLayout flipped = AffineLayout::flip(base, "dim1");
+    AffineLayout conv = plain.invertAndCompose(flipped);
+    EXPECT_FALSE(conv.isLinear());
+    for (uint64_t v = 0; v < 1024; ++v) {
+        // The conversion map applied twice returns to the start
+        // (XOR involution).
+        EXPECT_EQ(conv.applyFlat(conv.applyFlat(v)), v);
+    }
+    // The linear part must be the identity map.
+    auto m = conv.linear().toF2Matrix();
+    EXPECT_EQ(m, f2::F2Matrix::identity(m.numRows()));
+}
+
+TEST(AffineLayout, ConversionMovesElementsCorrectly)
+{
+    LinearLayout base = sampleLayout({16, 64});
+    AffineLayout a(base);
+    AffineLayout b = AffineLayout::flip(base, "dim0");
+    AffineLayout conv = a.invertAndCompose(b);
+    for (uint64_t v = 0; v < 1024; v += 3) {
+        uint64_t elem = a.applyFlat(v);
+        uint64_t dst = conv.applyFlat(v);
+        EXPECT_EQ(b.applyFlat(dst), elem);
+    }
+}
+
+TEST(AffineLayout, SliceAddressesParentElements)
+{
+    // A 64-wide shared buffer layout; view the aligned slice [32, 48).
+    LinearLayout mem = triton::unswizzledSharedLayout({4, 64}, {1, 0});
+    AffineLayout sliced = AffineLayout::slice(mem, "dim1", 32, 16);
+    for (int32_t off = 0; off < 4 * 64; off += 9) {
+        auto parent = mem.apply({{dims::kOffset, off}});
+        auto view = sliced.apply({{dims::kOffset, off}});
+        EXPECT_EQ(view[0].second, parent[0].second ^ 32);
+        EXPECT_EQ(view[1].second, parent[1].second);
+    }
+}
+
+TEST(AffineLayout, SliceRejectsMisalignment)
+{
+    LinearLayout mem = triton::unswizzledSharedLayout({4, 64}, {1, 0});
+    EXPECT_THROW(AffineLayout::slice(mem, "dim1", 8, 16), UserError);
+    EXPECT_THROW(AffineLayout::slice(mem, "dim1", 56, 16), UserError);
+}
+
+TEST(AffineLayout, ComposeMatchesFunctionComposition)
+{
+    LinearLayout inner = LinearLayout::identity1D(32, "in", "mid");
+    LinearLayout outer = LinearLayout::identity1D(32, "mid", "out");
+    AffineLayout f(inner, {5});
+    AffineLayout g(outer, {9});
+    AffineLayout fg = f.compose(g);
+    for (int32_t x = 0; x < 32; ++x) {
+        auto mid = f.apply({{"in", x}});
+        auto expect = g.apply({{"mid", mid[0].second}});
+        auto got = fg.apply({{"in", x}});
+        EXPECT_EQ(got[0].second, expect[0].second);
+    }
+}
+
+TEST(AffineLayout, InvertRoundTrips)
+{
+    std::mt19937 rng(77);
+    LinearLayout base = sampleLayout({16, 64});
+    std::uniform_int_distribution<int32_t> d0(0, 15), d1(0, 63);
+    for (int trial = 0; trial < 20; ++trial) {
+        AffineLayout a(base, {d1(rng), d0(rng)});
+        AffineLayout inv = a.invert();
+        for (uint64_t v = 0; v < 1024; v += 11)
+            EXPECT_EQ(inv.applyFlat(a.applyFlat(v)), v);
+    }
+}
+
+TEST(AffineLayout, ShiftValidation)
+{
+    LinearLayout base = sampleLayout({16, 64});
+    EXPECT_THROW(AffineLayout(base, {64, 0}), UserError);  // dim1 too big
+    EXPECT_THROW(AffineLayout(base, {0}), UserError);      // arity
+}
+
+} // namespace
+} // namespace ll

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for subspace primitives: echelon bases, spans, complements,
+ * completions, and the Zassenhaus intersection, cross-checked against
+ * brute-force span enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "f2/subspace.h"
+#include "support/bits.h"
+
+namespace ll {
+namespace f2 {
+namespace {
+
+std::vector<uint64_t>
+randomVectors(std::mt19937 &rng, int count, int dim)
+{
+    std::uniform_int_distribution<uint64_t> dist(
+        0, (uint64_t(1) << dim) - 1);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < count; ++i)
+        out.push_back(dist(rng));
+    return out;
+}
+
+std::set<uint64_t>
+bruteSpan(const std::vector<uint64_t> &vecs)
+{
+    std::set<uint64_t> span = {0};
+    for (uint64_t v : vecs) {
+        std::set<uint64_t> next = span;
+        for (uint64_t s : span)
+            next.insert(s ^ v);
+        span = next;
+    }
+    return span;
+}
+
+TEST(EchelonBasis, EmptyContainsOnlyZero)
+{
+    EchelonBasis ech;
+    EXPECT_EQ(ech.dimension(), 0);
+    EXPECT_TRUE(ech.contains(0));
+    EXPECT_FALSE(ech.contains(1));
+}
+
+TEST(EchelonBasis, InsertRejectsDependentVectors)
+{
+    EchelonBasis ech;
+    EXPECT_TRUE(ech.insert(0b101));
+    EXPECT_TRUE(ech.insert(0b011));
+    EXPECT_FALSE(ech.insert(0b110)); // 101 ^ 011
+    EXPECT_FALSE(ech.insert(0));
+    EXPECT_EQ(ech.dimension(), 2);
+}
+
+TEST(EchelonBasis, ContainsMatchesBruteForce)
+{
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto vecs = randomVectors(rng, 4, 8);
+        EchelonBasis ech(vecs);
+        auto span = bruteSpan(vecs);
+        for (uint64_t v = 0; v < 256; ++v)
+            EXPECT_EQ(ech.contains(v), span.count(v) > 0);
+    }
+}
+
+TEST(EchelonBasis, ReduceIsIdempotentAndSpanInvariant)
+{
+    std::mt19937 rng(12);
+    auto vecs = randomVectors(rng, 5, 10);
+    EchelonBasis ech(vecs);
+    for (uint64_t v = 0; v < 1024; v += 7) {
+        uint64_t r = ech.reduce(v);
+        EXPECT_EQ(ech.reduce(r), r);
+        EXPECT_TRUE(ech.contains(v ^ r)); // v - r lies in the span
+    }
+}
+
+TEST(Subspace, ReduceToBasisPreservesSpan)
+{
+    std::mt19937 rng(13);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto vecs = randomVectors(rng, 6, 8);
+        auto basis = reduceToBasis(vecs);
+        EXPECT_EQ(bruteSpan(vecs), bruteSpan(basis));
+        EXPECT_EQ(static_cast<int>(basis.size()), rankOfVectors(vecs));
+    }
+}
+
+TEST(Subspace, SpanContains)
+{
+    EXPECT_TRUE(spanContains({0b01, 0b10}, 0b11));
+    EXPECT_FALSE(spanContains({0b01}, 0b10));
+    EXPECT_TRUE(spanContains({}, 0));
+}
+
+TEST(Subspace, ComplementBasisGivesDirectSum)
+{
+    std::mt19937 rng(14);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto vecs = reduceToBasis(randomVectors(rng, 3, 8));
+        auto comp = complementBasis(vecs, 8);
+        EXPECT_EQ(vecs.size() + comp.size(), 8u);
+        // Union is independent.
+        auto all = vecs;
+        all.insert(all.end(), comp.begin(), comp.end());
+        EXPECT_EQ(rankOfVectors(all), 8);
+    }
+}
+
+TEST(Subspace, CompleteBasisContainsOriginal)
+{
+    auto full = completeBasis({0b1100, 0b0011}, 4);
+    EXPECT_EQ(full.size(), 4u);
+    EXPECT_EQ(rankOfVectors(full), 4);
+}
+
+TEST(Subspace, IntersectSpansMatchesBruteForce)
+{
+    std::mt19937 rng(15);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto u = randomVectors(rng, 3, 6);
+        auto v = randomVectors(rng, 3, 6);
+        auto inter = intersectSpans(u, v, 6);
+
+        auto su = bruteSpan(u);
+        auto sv = bruteSpan(v);
+        std::set<uint64_t> expect;
+        std::set_intersection(su.begin(), su.end(), sv.begin(), sv.end(),
+                              std::inserter(expect, expect.begin()));
+        EXPECT_EQ(bruteSpan(inter), expect)
+            << "trial " << trial;
+    }
+}
+
+TEST(Subspace, IntersectDisjointSpansIsTrivial)
+{
+    auto inter = intersectSpans({0b001}, {0b010}, 3);
+    EXPECT_TRUE(inter.empty());
+}
+
+TEST(Subspace, IntersectEqualSpans)
+{
+    std::vector<uint64_t> u = {0b011, 0b101};
+    auto inter = intersectSpans(u, u, 3);
+    EXPECT_EQ(bruteSpan(inter), bruteSpan(u));
+}
+
+TEST(Subspace, EnumerateSpanIndexing)
+{
+    std::vector<uint64_t> basis = {0b01, 0b10};
+    auto span = enumerateSpan(basis);
+    ASSERT_EQ(span.size(), 4u);
+    EXPECT_EQ(span[0], 0u);
+    EXPECT_EQ(span[1], 0b01u);
+    EXPECT_EQ(span[2], 0b10u);
+    EXPECT_EQ(span[3], 0b11u);
+}
+
+/** Parameterized: Zassenhaus dimension formula dim(U)+dim(V) =
+ *  dim(U+V)+dim(U^V). */
+class IntersectionDims : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntersectionDims, DimensionFormulaHolds)
+{
+    std::mt19937 rng(GetParam());
+    auto u = reduceToBasis(randomVectors(rng, 4, 10));
+    auto v = reduceToBasis(randomVectors(rng, 4, 10));
+    auto inter = intersectSpans(u, v, 10);
+    auto sum = u;
+    sum.insert(sum.end(), v.begin(), v.end());
+    EXPECT_EQ(u.size() + v.size(),
+              static_cast<size_t>(rankOfVectors(sum)) + inter.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectionDims, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace f2
+} // namespace ll

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-module property tests: randomized sweeps tying the whole stack
+ * together. Random encodings must always produce Definition 4.10
+ * distributed layouts; every conversion the planner emits — whatever
+ * lowering it chose — must move every element correctly when executed;
+ * the optimal swizzle must never lose to the unswizzled layout; and the
+ * shape-transfer functions must commute with element semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "codegen/conversion.h"
+#include "codegen/shared_exec.h"
+#include "codegen/swizzle.h"
+#include "engine/shape_transfer.h"
+#include "layout/dims.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace {
+
+using dims::kLane;
+using dims::kReg;
+using dims::kWarp;
+
+/** A random valid blocked encoding over `shape` with 32-lane warps. */
+triton::BlockedEncoding
+randomBlocked(std::mt19937 &rng, int rank)
+{
+    auto pick = [&](const std::vector<int32_t> &opts) {
+        return opts[std::uniform_int_distribution<size_t>(
+            0, opts.size() - 1)(rng)];
+    };
+    triton::BlockedEncoding enc;
+    enc.order.resize(static_cast<size_t>(rank));
+    for (int i = 0; i < rank; ++i)
+        enc.order[static_cast<size_t>(i)] = i;
+    std::shuffle(enc.order.begin(), enc.order.end(), rng);
+
+    enc.sizePerThread.assign(static_cast<size_t>(rank), 1);
+    enc.threadsPerWarp.assign(static_cast<size_t>(rank), 1);
+    enc.warpsPerCta.assign(static_cast<size_t>(rank), 1);
+    for (int i = 0; i < rank; ++i)
+        enc.sizePerThread[static_cast<size_t>(i)] = pick({1, 2, 4});
+    // Distribute 32 lanes and 4 warps over the dims.
+    int laneBudget = 32, warpBudget = 4;
+    for (int i = 0; i < rank; ++i) {
+        int32_t l = pick({1, 2, 4, 8});
+        l = std::min<int32_t>(l, laneBudget);
+        enc.threadsPerWarp[static_cast<size_t>(i)] = l;
+        laneBudget /= l;
+    }
+    enc.threadsPerWarp[0] *= laneBudget; // keep the product at 32
+    for (int i = 0; i < rank; ++i) {
+        int32_t w = pick({1, 2});
+        w = std::min<int32_t>(w, warpBudget);
+        enc.warpsPerCta[static_cast<size_t>(i)] = w;
+        warpBudget /= w;
+    }
+    enc.warpsPerCta[0] *= warpBudget;
+    return enc;
+}
+
+class RandomizedSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomizedSweep, BlockedEncodingsAreDistributedLayouts)
+{
+    std::mt19937 rng(GetParam());
+    const triton::Shape shapes[] = {{32, 64}, {16, 16}, {64, 8}, {8, 128}};
+    for (const auto &shape : shapes) {
+        auto enc = randomBlocked(rng, 2);
+        auto layout = enc.toLinearLayout(shape);
+        EXPECT_TRUE(layout.isSurjective());
+        EXPECT_TRUE(triton::isDistributedLayout(layout));
+        EXPECT_EQ(layout.getInDimSize(kLane), 32);
+        EXPECT_EQ(layout.getInDimSize(kWarp), 4);
+        // Self-conversion is always a no-op.
+        EXPECT_TRUE(codegen::conversionIsNoOp(layout, layout));
+    }
+}
+
+TEST_P(RandomizedSweep, EveryPlannedConversionMovesElementsCorrectly)
+{
+    std::mt19937 rng(GetParam() + 500);
+    auto spec = sim::GpuSpec::gh200();
+    const triton::Shape shape = {32, 64};
+    auto src = randomBlocked(rng, 2).toLinearLayout(shape);
+    auto dst = randomBlocked(rng, 2).toLinearLayout(shape);
+
+    auto plan = codegen::planConversion(src, dst, 2, spec);
+    switch (plan.kind) {
+      case codegen::ConversionKind::NoOp:
+        EXPECT_TRUE(codegen::conversionIsNoOp(src, dst));
+        break;
+      case codegen::ConversionKind::RegisterPermute:
+        EXPECT_TRUE(codegen::conversionIsRegisterPermute(src, dst));
+        break;
+      case codegen::ConversionKind::WarpShuffle: {
+        const auto &p = *plan.shuffle;
+        std::vector<std::vector<uint64_t>> regs(
+            static_cast<size_t>(p.warpSize));
+        for (int lane = 0; lane < p.warpSize; ++lane) {
+            for (int reg = 0; reg < p.numRegsA; ++reg) {
+                regs[static_cast<size_t>(lane)].push_back(src.applyFlat(
+                    static_cast<uint64_t>(reg) |
+                    (static_cast<uint64_t>(lane)
+                     << src.getInDimSizeLog2(kReg))));
+            }
+        }
+        auto out = p.execute(regs);
+        auto dstAligned = dst.transposeOuts(src.getOutDimNames());
+        for (int lane = 0; lane < p.warpSize; ++lane) {
+            for (int reg = 0; reg < p.numRegsB; ++reg) {
+                EXPECT_EQ(out[static_cast<size_t>(lane)]
+                             [static_cast<size_t>(reg)],
+                          dstAligned.applyFlat(
+                              static_cast<uint64_t>(reg) |
+                              (static_cast<uint64_t>(lane)
+                               << dstAligned.getInDimSizeLog2(kReg))));
+            }
+        }
+        break;
+      }
+      case codegen::ConversionKind::SharedMemory: {
+        auto result = codegen::executeSharedConversion(*plan.shared, src,
+                                                       dst, 2, spec);
+        EXPECT_TRUE(result.correct);
+        break;
+      }
+    }
+}
+
+TEST_P(RandomizedSweep, OptimalSwizzleNeverLosesToUnswizzled)
+{
+    std::mt19937 rng(GetParam() + 1000);
+    auto spec = sim::GpuSpec::gh200();
+    const triton::Shape shape = {32, 64};
+    auto src = randomBlocked(rng, 2).toLinearLayout(shape);
+    auto dst = randomBlocked(rng, 2).toLinearLayout(shape);
+
+    auto swz = codegen::computeOptimalSwizzle(src, dst, 2, spec);
+    auto flat = codegen::wrapMemoryLayout(
+        triton::unswizzledSharedLayout(shape, {1, 0}), src, dst, 2, spec);
+    int64_t optimal =
+        codegen::analyticWavefronts(swz, src, 2, spec) +
+        codegen::analyticWavefronts(swz, dst, 2, spec);
+    int64_t naive =
+        codegen::analyticWavefronts(flat, src, 2, spec) +
+        codegen::analyticWavefronts(flat, dst, 2, spec);
+    // Compare per-element costs: different vectorization means a
+    // different number of accesses for the same data.
+    double optimalPerElem =
+        static_cast<double>(optimal) / swz.vecElems();
+    double naivePerElem = static_cast<double>(naive) / flat.vecElems();
+    EXPECT_LE(optimalPerElem, naivePerElem);
+}
+
+TEST_P(RandomizedSweep, ShapeTransfersPreserveElementSemantics)
+{
+    std::mt19937 rng(GetParam() + 2000);
+    const triton::Shape shape = {32, 64};
+    auto layout = engine::canonicalizeMinorToMajor(
+        randomBlocked(rng, 2).toLinearLayout(shape), 2);
+
+    // Transpose: element (i, j) must come from (j, i).
+    auto t = engine::transTransfer(layout, {1, 0});
+    for (uint64_t v = 0; v < 2048; v += 37) {
+        auto before = layout.unflattenOuts(layout.applyFlat(v));
+        auto after = t.unflattenOuts(t.applyFlat(v));
+        EXPECT_EQ(after[0].second, before[1].second);
+        EXPECT_EQ(after[1].second, before[0].second);
+    }
+    // Reshape: row-major linear index invariant.
+    auto r = engine::reshapeTransfer(layout, {64, 32});
+    for (uint64_t v = 0; v < 2048; v += 41) {
+        auto before = layout.unflattenOuts(layout.applyFlat(v));
+        int64_t lin = int64_t(before[1].second) * 64 + before[0].second;
+        auto after = r.unflattenOuts(r.applyFlat(v));
+        int64_t lin2 = int64_t(after[1].second) * 32 + after[0].second;
+        EXPECT_EQ(lin, lin2);
+    }
+}
+
+TEST_P(RandomizedSweep, DivideLeftInvertsProduct)
+{
+    std::mt19937 rng(GetParam() + 3000);
+    // Build a product of a small register tile and a random remainder,
+    // then recover the remainder by left division.
+    std::uniform_int_distribution<int32_t> pick(1, 3);
+    int32_t tileSize = 1 << pick(rng);
+    auto tile =
+        LinearLayout::identity1D(tileSize, kReg, dims::kOffset);
+    auto rest = LinearLayout::identity1D(1 << pick(rng), kReg,
+                                         dims::kOffset) *
+                LinearLayout::identity1D(1 << pick(rng), kLane,
+                                         dims::kOffset);
+    auto whole = tile * rest;
+    auto q = whole.divideLeft(tile);
+    ASSERT_TRUE(q.has_value());
+    auto again = tile * *q;
+    EXPECT_EQ(again.transposeIns(whole.getInDimNames()), whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSweep, ::testing::Range(0, 30));
+
+} // namespace
+} // namespace ll
