@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_transpose_swizzle.dir/fig2_transpose_swizzle.cpp.o"
+  "CMakeFiles/fig2_transpose_swizzle.dir/fig2_transpose_swizzle.cpp.o.d"
+  "fig2_transpose_swizzle"
+  "fig2_transpose_swizzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_transpose_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

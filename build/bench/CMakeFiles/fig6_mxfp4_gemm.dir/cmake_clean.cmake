@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mxfp4_gemm.dir/fig6_mxfp4_gemm.cpp.o"
+  "CMakeFiles/fig6_mxfp4_gemm.dir/fig6_mxfp4_gemm.cpp.o.d"
+  "fig6_mxfp4_gemm"
+  "fig6_mxfp4_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mxfp4_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_mxfp4_gemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_conversion.dir/fig7_conversion.cpp.o"
+  "CMakeFiles/fig7_conversion.dir/fig7_conversion.cpp.o.d"
+  "fig7_conversion"
+  "fig7_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

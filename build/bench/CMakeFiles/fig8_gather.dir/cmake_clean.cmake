@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gather.dir/fig8_gather.cpp.o"
+  "CMakeFiles/fig8_gather.dir/fig8_gather.cpp.o.d"
+  "fig8_gather"
+  "fig8_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

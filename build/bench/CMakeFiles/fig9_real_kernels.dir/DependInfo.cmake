@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_real_kernels.cpp" "bench/CMakeFiles/fig9_real_kernels.dir/fig9_real_kernels.cpp.o" "gcc" "bench/CMakeFiles/fig9_real_kernels.dir/fig9_real_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ll_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/ll_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ll_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/triton/CMakeFiles/ll_triton.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/ll_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ll_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ll_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/ll_f2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

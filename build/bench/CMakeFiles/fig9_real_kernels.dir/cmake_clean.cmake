@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_real_kernels.dir/fig9_real_kernels.cpp.o"
+  "CMakeFiles/fig9_real_kernels.dir/fig9_real_kernels.cpp.o.d"
+  "fig9_real_kernels"
+  "fig9_real_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_real_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

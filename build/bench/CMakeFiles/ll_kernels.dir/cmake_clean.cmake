@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_kernels.dir/kernels/kernels.cpp.o"
+  "CMakeFiles/ll_kernels.dir/kernels/kernels.cpp.o.d"
+  "libll_kernels.a"
+  "libll_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

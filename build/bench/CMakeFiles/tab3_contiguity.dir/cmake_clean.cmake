@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_contiguity.dir/tab3_contiguity.cpp.o"
+  "CMakeFiles/tab3_contiguity.dir/tab3_contiguity.cpp.o.d"
+  "tab3_contiguity"
+  "tab3_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

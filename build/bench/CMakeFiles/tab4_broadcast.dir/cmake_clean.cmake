@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_broadcast.dir/tab4_broadcast.cpp.o"
+  "CMakeFiles/tab4_broadcast.dir/tab4_broadcast.cpp.o.d"
+  "tab4_broadcast"
+  "tab4_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

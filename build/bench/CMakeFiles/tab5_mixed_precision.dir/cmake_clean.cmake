@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_mixed_precision.dir/tab5_mixed_precision.cpp.o"
+  "CMakeFiles/tab5_mixed_precision.dir/tab5_mixed_precision.cpp.o.d"
+  "tab5_mixed_precision"
+  "tab5_mixed_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

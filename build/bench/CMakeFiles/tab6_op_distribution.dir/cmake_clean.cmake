@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_op_distribution.dir/tab6_op_distribution.cpp.o"
+  "CMakeFiles/tab6_op_distribution.dir/tab6_op_distribution.cpp.o.d"
+  "tab6_op_distribution"
+  "tab6_op_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_op_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_shuffle.dir/gather_shuffle.cpp.o"
+  "CMakeFiles/gather_shuffle.dir/gather_shuffle.cpp.o.d"
+  "gather_shuffle"
+  "gather_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

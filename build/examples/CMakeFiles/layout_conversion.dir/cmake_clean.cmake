@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_conversion.dir/layout_conversion.cpp.o"
+  "CMakeFiles/layout_conversion.dir/layout_conversion.cpp.o.d"
+  "layout_conversion"
+  "layout_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_inspect.dir/layout_inspect.cpp.o"
+  "CMakeFiles/layout_inspect.dir/layout_inspect.cpp.o.d"
+  "layout_inspect"
+  "layout_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_gemm.dir/mixed_precision_gemm.cpp.o"
+  "CMakeFiles/mixed_precision_gemm.dir/mixed_precision_gemm.cpp.o.d"
+  "mixed_precision_gemm"
+  "mixed_precision_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_kernel.dir/transpose_kernel.cpp.o"
+  "CMakeFiles/transpose_kernel.dir/transpose_kernel.cpp.o.d"
+  "transpose_kernel"
+  "transpose_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

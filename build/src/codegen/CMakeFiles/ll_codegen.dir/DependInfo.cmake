@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/conversion.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/conversion.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/conversion.cpp.o.d"
+  "/root/repo/src/codegen/gather.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/gather.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/gather.cpp.o.d"
+  "/root/repo/src/codegen/shared_exec.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/shared_exec.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/shared_exec.cpp.o.d"
+  "/root/repo/src/codegen/shuffle.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/shuffle.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/shuffle.cpp.o.d"
+  "/root/repo/src/codegen/swizzle.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/swizzle.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/swizzle.cpp.o.d"
+  "/root/repo/src/codegen/tiles.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/tiles.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/tiles.cpp.o.d"
+  "/root/repo/src/codegen/vectorize.cpp" "src/codegen/CMakeFiles/ll_codegen.dir/vectorize.cpp.o" "gcc" "src/codegen/CMakeFiles/ll_codegen.dir/vectorize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/ll_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/ll_f2.dir/DependInfo.cmake"
+  "/root/repo/build/src/triton/CMakeFiles/ll_triton.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_codegen.dir/conversion.cpp.o"
+  "CMakeFiles/ll_codegen.dir/conversion.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/gather.cpp.o"
+  "CMakeFiles/ll_codegen.dir/gather.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/shared_exec.cpp.o"
+  "CMakeFiles/ll_codegen.dir/shared_exec.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/shuffle.cpp.o"
+  "CMakeFiles/ll_codegen.dir/shuffle.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/swizzle.cpp.o"
+  "CMakeFiles/ll_codegen.dir/swizzle.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/tiles.cpp.o"
+  "CMakeFiles/ll_codegen.dir/tiles.cpp.o.d"
+  "CMakeFiles/ll_codegen.dir/vectorize.cpp.o"
+  "CMakeFiles/ll_codegen.dir/vectorize.cpp.o.d"
+  "libll_codegen.a"
+  "libll_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

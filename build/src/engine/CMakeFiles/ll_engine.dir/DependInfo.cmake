@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_model.cpp" "src/engine/CMakeFiles/ll_engine.dir/cost_model.cpp.o" "gcc" "src/engine/CMakeFiles/ll_engine.dir/cost_model.cpp.o.d"
+  "/root/repo/src/engine/layout_engine.cpp" "src/engine/CMakeFiles/ll_engine.dir/layout_engine.cpp.o" "gcc" "src/engine/CMakeFiles/ll_engine.dir/layout_engine.cpp.o.d"
+  "/root/repo/src/engine/shape_transfer.cpp" "src/engine/CMakeFiles/ll_engine.dir/shape_transfer.cpp.o" "gcc" "src/engine/CMakeFiles/ll_engine.dir/shape_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ll_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ll_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/triton/CMakeFiles/ll_triton.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ll_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/ll_f2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_engine.dir/cost_model.cpp.o"
+  "CMakeFiles/ll_engine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ll_engine.dir/layout_engine.cpp.o"
+  "CMakeFiles/ll_engine.dir/layout_engine.cpp.o.d"
+  "CMakeFiles/ll_engine.dir/shape_transfer.cpp.o"
+  "CMakeFiles/ll_engine.dir/shape_transfer.cpp.o.d"
+  "libll_engine.a"
+  "libll_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_f2.dir/matrix.cpp.o"
+  "CMakeFiles/ll_f2.dir/matrix.cpp.o.d"
+  "CMakeFiles/ll_f2.dir/subspace.cpp.o"
+  "CMakeFiles/ll_f2.dir/subspace.cpp.o.d"
+  "libll_f2.a"
+  "libll_f2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_f2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_ir.dir/function.cpp.o"
+  "CMakeFiles/ll_ir.dir/function.cpp.o.d"
+  "CMakeFiles/ll_ir.dir/types.cpp.o"
+  "CMakeFiles/ll_ir.dir/types.cpp.o.d"
+  "libll_ir.a"
+  "libll_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

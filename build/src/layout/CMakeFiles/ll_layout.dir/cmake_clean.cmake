@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_layout.dir/affine_layout.cpp.o"
+  "CMakeFiles/ll_layout.dir/affine_layout.cpp.o.d"
+  "CMakeFiles/ll_layout.dir/linear_layout.cpp.o"
+  "CMakeFiles/ll_layout.dir/linear_layout.cpp.o.d"
+  "libll_layout.a"
+  "libll_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

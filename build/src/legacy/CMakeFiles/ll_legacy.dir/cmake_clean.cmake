@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_legacy.dir/legacy.cpp.o"
+  "CMakeFiles/ll_legacy.dir/legacy.cpp.o.d"
+  "CMakeFiles/ll_legacy.dir/legacy_cost.cpp.o"
+  "CMakeFiles/ll_legacy.dir/legacy_cost.cpp.o.d"
+  "libll_legacy.a"
+  "libll_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

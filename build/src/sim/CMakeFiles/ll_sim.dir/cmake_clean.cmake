@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/ll_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/ll_sim.dir/memory_sim.cpp.o"
+  "CMakeFiles/ll_sim.dir/memory_sim.cpp.o.d"
+  "libll_sim.a"
+  "libll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ll_support.dir/diagnostics.cpp.o.d"
+  "libll_support.a"
+  "libll_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_triton.dir/encodings.cpp.o"
+  "CMakeFiles/ll_triton.dir/encodings.cpp.o.d"
+  "libll_triton.a"
+  "libll_triton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_triton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/affine_layout_test.cpp" "tests/CMakeFiles/affine_layout_test.dir/affine_layout_test.cpp.o" "gcc" "tests/CMakeFiles/affine_layout_test.dir/affine_layout_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/ll_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/triton/CMakeFiles/ll_triton.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/ll_f2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

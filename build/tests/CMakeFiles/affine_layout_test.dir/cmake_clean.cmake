@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_layout_test.dir/affine_layout_test.cpp.o"
+  "CMakeFiles/affine_layout_test.dir/affine_layout_test.cpp.o.d"
+  "affine_layout_test"
+  "affine_layout_test.pdb"
+  "affine_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2_matrix_test.dir/f2_matrix_test.cpp.o"
+  "CMakeFiles/f2_matrix_test.dir/f2_matrix_test.cpp.o.d"
+  "f2_matrix_test"
+  "f2_matrix_test.pdb"
+  "f2_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

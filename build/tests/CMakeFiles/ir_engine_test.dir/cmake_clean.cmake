@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_engine_test.dir/ir_engine_test.cpp.o"
+  "CMakeFiles/ir_engine_test.dir/ir_engine_test.cpp.o.d"
+  "ir_engine_test"
+  "ir_engine_test.pdb"
+  "ir_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

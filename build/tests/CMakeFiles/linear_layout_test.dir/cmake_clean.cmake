@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_layout_test.dir/linear_layout_test.cpp.o"
+  "CMakeFiles/linear_layout_test.dir/linear_layout_test.cpp.o.d"
+  "linear_layout_test"
+  "linear_layout_test.pdb"
+  "linear_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/f2_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/f2_subspace_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/encodings_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/legacy_test[1]_include.cmake")
+include("/root/repo/build/tests/affine_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
