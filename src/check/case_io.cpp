@@ -1,0 +1,183 @@
+#include "check/case_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace check {
+
+namespace {
+
+void
+writeLayout(std::ostream &os, const LinearLayout &layout,
+            const std::string &name)
+{
+    os << "layout " << name << "\n";
+    os << "outs";
+    for (const auto &[dim, size] : layout.getOutDims())
+        os << " " << dim << " " << size;
+    os << "\n";
+    for (const auto &inDim : layout.getInDimNames()) {
+        os << "in " << inDim << " " << layout.getInDimSizeLog2(inDim)
+           << "\n";
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(inDim); ++i) {
+            os << "basis";
+            for (int32_t coord : layout.getBasis(inDim, i))
+                os << " " << coord;
+            os << "\n";
+        }
+    }
+    os << "end\n";
+}
+
+/** Next non-comment, non-empty line. */
+bool
+nextLine(std::istream &is, std::string &line)
+{
+    while (std::getline(is, line)) {
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos)
+            continue;
+        if (line[start] == '#')
+            continue;
+        line = line.substr(start);
+        return true;
+    }
+    return false;
+}
+
+LinearLayout
+readLayout(std::istream &is, int numOutDims,
+           const std::vector<LinearLayout::DimSize> &outDims)
+{
+    LinearLayout::BasesT bases;
+    std::string line;
+    while (nextLine(is, line)) {
+        std::istringstream ls(line);
+        std::string tok;
+        ls >> tok;
+        if (tok == "end") {
+            return LinearLayout(std::move(bases), outDims,
+                                /*requireSurjective=*/false);
+        }
+        llUserCheck(tok == "in",
+                    "corpus: expected 'in' or 'end', got '" << tok << "'");
+        std::string inDim;
+        int count = -1;
+        ls >> inDim >> count;
+        llUserCheck(!inDim.empty() && count >= 0 && count < 64,
+                    "corpus: malformed 'in' line: " << line);
+        std::vector<std::vector<int32_t>> vecs;
+        for (int i = 0; i < count; ++i) {
+            llUserCheck(nextLine(is, line),
+                        "corpus: unexpected EOF in basis list");
+            std::istringstream bs(line);
+            bs >> tok;
+            llUserCheck(tok == "basis",
+                        "corpus: expected 'basis', got '" << tok << "'");
+            std::vector<int32_t> basis;
+            int32_t coord;
+            while (bs >> coord)
+                basis.push_back(coord);
+            llUserCheck(static_cast<int>(basis.size()) == numOutDims,
+                        "corpus: basis has " << basis.size()
+                            << " coords, expected " << numOutDims);
+            vecs.push_back(std::move(basis));
+        }
+        bases.insert(inDim, std::move(vecs));
+    }
+    llUserCheck(false, "corpus: unexpected EOF inside layout block");
+    return {};
+}
+
+} // namespace
+
+void
+writeCase(std::ostream &os, const ConversionCase &c)
+{
+    os << "# llfuzz conversion case\n";
+    os << "spec " << c.specName << "\n";
+    os << "elemBytes " << c.elemBytes << "\n";
+    if (!c.summary.empty())
+        os << "summary " << c.summary << "\n";
+    writeLayout(os, c.src, "src");
+    writeLayout(os, c.dst, "dst");
+}
+
+ConversionCase
+readCase(std::istream &is)
+{
+    ConversionCase c;
+    bool haveSrc = false, haveDst = false;
+    std::string line;
+    while (nextLine(is, line)) {
+        std::istringstream ls(line);
+        std::string tok;
+        ls >> tok;
+        if (tok == "spec") {
+            ls >> c.specName;
+            specByName(c.specName); // validate at parse time
+        } else if (tok == "elemBytes") {
+            ls >> c.elemBytes;
+            llUserCheck(c.elemBytes >= 1 && c.elemBytes <= 8,
+                        "corpus: elemBytes out of range");
+        } else if (tok == "summary") {
+            std::getline(ls, c.summary);
+            if (!c.summary.empty() && c.summary.front() == ' ')
+                c.summary.erase(c.summary.begin());
+        } else if (tok == "layout") {
+            std::string which;
+            ls >> which;
+            llUserCheck(which == "src" || which == "dst",
+                        "corpus: unknown layout name '" << which << "'");
+            // The outs line follows immediately.
+            llUserCheck(nextLine(is, line),
+                        "corpus: missing 'outs' line");
+            std::istringstream os_(line);
+            os_ >> tok;
+            llUserCheck(tok == "outs", "corpus: expected 'outs' line");
+            std::vector<LinearLayout::DimSize> outDims;
+            std::string dim;
+            int32_t size;
+            while (os_ >> dim >> size)
+                outDims.emplace_back(dim, size);
+            llUserCheck(!outDims.empty(), "corpus: empty 'outs' line");
+            auto layout = readLayout(
+                is, static_cast<int>(outDims.size()), outDims);
+            if (which == "src") {
+                c.src = std::move(layout);
+                haveSrc = true;
+            } else {
+                c.dst = std::move(layout);
+                haveDst = true;
+            }
+        } else {
+            llUserCheck(false,
+                        "corpus: unknown directive '" << tok << "'");
+        }
+    }
+    llUserCheck(haveSrc && haveDst,
+                "corpus: case needs both src and dst layouts");
+    return c;
+}
+
+void
+writeCaseFile(const std::string &path, const ConversionCase &c)
+{
+    std::ofstream os(path);
+    llUserCheck(os.good(), "cannot open " << path << " for writing");
+    writeCase(os, c);
+}
+
+ConversionCase
+readCaseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    llUserCheck(is.good(), "cannot open " << path);
+    return readCase(is);
+}
+
+} // namespace check
+} // namespace ll

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Textual (de)serialization of conversion cases — the corpus format.
+ *
+ * Every confirmed-correct random case the fuzzer runs can be written to
+ * a small self-describing text file and committed under tests/corpus/,
+ * where the corpus replay test re-checks it on every CI run. Shrunk
+ * failures use the same format, so a reproducer is one file.
+ *
+ * Format (lines; '#' starts a comment):
+ *
+ *     spec gh200
+ *     elemBytes 2
+ *     summary blocked[32x64] -> mma.v2[32x64] @gh200 b2
+ *     layout src
+ *     outs dim0 32 dim1 64
+ *     in register 2
+ *     basis 1 0
+ *     basis 2 0
+ *     in lane 5
+ *     ...
+ *     end
+ *     layout dst
+ *     ...
+ *     end
+ *
+ * `in <name> <k>` declares an input dim with k basis vectors, each on a
+ * following `basis` line carrying one coordinate per output dim.
+ */
+
+#ifndef LL_CHECK_CASE_IO_H
+#define LL_CHECK_CASE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "check/generators.h"
+
+namespace ll {
+namespace check {
+
+/** Write a case in the corpus text format. */
+void writeCase(std::ostream &os, const ConversionCase &c);
+
+/** Parse a case; throws UserError on malformed input. */
+ConversionCase readCase(std::istream &is);
+
+/** Convenience file wrappers. */
+void writeCaseFile(const std::string &path, const ConversionCase &c);
+ConversionCase readCaseFile(const std::string &path);
+
+} // namespace check
+} // namespace ll
+
+#endif // LL_CHECK_CASE_IO_H

@@ -1,0 +1,290 @@
+#include "check/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "layout/dims.h"
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace check {
+
+namespace {
+
+/** Distribute a power-of-two `budget` over `rank` dims as random
+ *  power-of-two factors whose product is exactly `budget`. */
+std::vector<int32_t>
+splitBudget(std::mt19937 &rng, int rank, int32_t budget)
+{
+    std::vector<int32_t> out(static_cast<size_t>(rank), 1);
+    while (budget > 1) {
+        size_t d = std::uniform_int_distribution<size_t>(
+            0, static_cast<size_t>(rank) - 1)(rng);
+        out[d] *= 2;
+        budget /= 2;
+    }
+    return out;
+}
+
+std::string
+shapeString(const triton::Shape &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        os << (i ? "x" : "") << shape[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+triton::Shape
+randomShape(std::mt19937 &rng, int rank, int64_t maxElements)
+{
+    llUserCheck(rank >= 1, "shape rank must be positive");
+    triton::Shape shape(static_cast<size_t>(rank), 1);
+    // Random total size, then distribute it like a resource budget.
+    int maxLog = 0;
+    while ((int64_t(1) << (maxLog + 1)) <= maxElements)
+        ++maxLog;
+    int totalLog =
+        std::uniform_int_distribution<int>(std::min(rank, maxLog),
+                                           maxLog)(rng);
+    auto factors = splitBudget(rng, rank, int32_t(1) << totalLog);
+    for (int d = 0; d < rank; ++d)
+        shape[static_cast<size_t>(d)] = factors[static_cast<size_t>(d)];
+    return shape;
+}
+
+triton::BlockedEncoding
+randomBlocked(std::mt19937 &rng, int rank, const GenOptions &opt)
+{
+    triton::BlockedEncoding enc;
+    enc.order.resize(static_cast<size_t>(rank));
+    std::iota(enc.order.begin(), enc.order.end(), 0);
+    std::shuffle(enc.order.begin(), enc.order.end(), rng);
+
+    enc.sizePerThread.assign(static_cast<size_t>(rank), 1);
+    for (int d = 0; d < rank; ++d)
+        enc.sizePerThread[static_cast<size_t>(d)] =
+            pickOne<int32_t>(rng, {1, 1, 2, 4});
+    enc.threadsPerWarp =
+        splitBudget(rng, rank, static_cast<int32_t>(opt.warpSize));
+    enc.warpsPerCta =
+        splitBudget(rng, rank, static_cast<int32_t>(opt.numWarps));
+    return enc;
+}
+
+triton::MmaEncoding
+randomMma(std::mt19937 &rng, const GenOptions &opt)
+{
+    triton::MmaEncoding enc;
+    enc.version = pickOne<int>(rng, {2, 2, 3});
+    auto warps = splitBudget(rng, 2, static_cast<int32_t>(opt.numWarps));
+    if (enc.version == 3) {
+        // wgmma: the four warps of a warp group stack along dim0.
+        warps = {static_cast<int32_t>(opt.numWarps), 1};
+    }
+    enc.warpsPerCta = warps;
+    enc.instrN = enc.version == 3 ? pickOne<int32_t>(rng, {8, 16, 32}) : 8;
+    return enc;
+}
+
+triton::MfmaEncoding
+randomMfma(std::mt19937 &rng, const GenOptions &opt)
+{
+    triton::MfmaEncoding enc;
+    enc.warpsPerCta = splitBudget(rng, 2,
+                                  static_cast<int32_t>(opt.numWarps));
+    return enc;
+}
+
+triton::DotOperandEncoding
+randomDotOperand(std::mt19937 &rng, const GenOptions &opt)
+{
+    triton::DotOperandEncoding enc;
+    enc.parent.version = 2;
+    enc.parent.warpsPerCta =
+        splitBudget(rng, 2, static_cast<int32_t>(opt.numWarps));
+    enc.opIdx = pickOne<int>(rng, {0, 1});
+    enc.bitwidth = pickOne<int>(rng, {8, 16, 32});
+    return enc;
+}
+
+LinearLayout
+randomDistributed(std::mt19937 &rng, const triton::Shape &shape,
+                  const GenOptions &opt, std::string *descOut)
+{
+    const int rank = static_cast<int>(shape.size());
+    enum Family { Blocked, Mma, Dot, Mfma, Sliced };
+    std::vector<Family> families = {Blocked, Blocked, Sliced};
+    if (rank == 2 && opt.warpSize == 32) {
+        families.push_back(Mma);
+        families.push_back(Dot);
+    }
+    if (rank == 2 && opt.warpSize == 64)
+        families.push_back(Mfma);
+
+    switch (pickOne(rng, families)) {
+      case Mma: {
+        auto enc = randomMma(rng, opt);
+        if (descOut)
+            *descOut = "mma.v" + std::to_string(enc.version) +
+                       shapeString(shape);
+        return enc.toLinearLayout(shape);
+      }
+      case Dot: {
+        auto enc = randomDotOperand(rng, opt);
+        if (descOut)
+            *descOut = "dot_operand.op" + std::to_string(enc.opIdx) +
+                       ".b" + std::to_string(enc.bitwidth) +
+                       shapeString(shape);
+        return enc.toLinearLayout(shape);
+      }
+      case Mfma: {
+        auto enc = randomMfma(rng, opt);
+        if (descOut)
+            *descOut = "mfma" + shapeString(shape);
+        return enc.toLinearLayout(shape);
+      }
+      case Sliced: {
+        // Slice a random axis out of a rank+1 blocked parent whose
+        // remaining dims equal `shape`.
+        int axis = std::uniform_int_distribution<int>(0, rank)(rng);
+        triton::Shape parentShape;
+        for (int d = 0; d <= rank; ++d) {
+            if (d == axis) {
+                parentShape.push_back(pickOne<int32_t>(rng, {2, 4}));
+            } else {
+                size_t from = static_cast<size_t>(d < axis ? d : d - 1);
+                parentShape.push_back(shape[from]);
+            }
+        }
+        auto parent = randomBlocked(rng, rank + 1, opt)
+                          .toLinearLayout(parentShape);
+        if (descOut)
+            *descOut = "sliced.axis" + std::to_string(axis) +
+                       shapeString(shape);
+        return triton::sliceLayout(parent, axis);
+      }
+      case Blocked:
+      default: {
+        auto enc = randomBlocked(rng, rank, opt);
+        if (descOut)
+            *descOut = "blocked" + shapeString(shape);
+        return enc.toLinearLayout(shape);
+      }
+    }
+}
+
+LinearLayout
+randomSharedMemoryLayout(std::mt19937 &rng, const triton::Shape &shape,
+                         std::string *descOut)
+{
+    const int rank = static_cast<int>(shape.size());
+    std::vector<int32_t> order(static_cast<size_t>(rank));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    if (rank == 2 && pickOne<int>(rng, {0, 1}) == 1) {
+        int elemBytes = pickOne<int>(rng, {1, 2, 4});
+        auto params = triton::chooseMmaSwizzleParams(
+            elemBytes, shape[static_cast<size_t>(order[0])]);
+        if (descOut) {
+            *descOut = "mma_swizzled.vec" + std::to_string(params.vec) +
+                       shapeString(shape);
+        }
+        return triton::mmaSwizzledSharedLayout(
+            shape, params.vec, params.perPhase, params.maxPhase, order);
+    }
+    if (descOut)
+        *descOut = "unswizzled" + shapeString(shape);
+    return triton::unswizzledSharedLayout(shape, order);
+}
+
+sim::GpuSpec
+specByName(const std::string &name)
+{
+    if (name == "rtx4090")
+        return sim::GpuSpec::rtx4090();
+    if (name == "gh200")
+        return sim::GpuSpec::gh200();
+    if (name == "mi250")
+        return sim::GpuSpec::mi250();
+    llUserCheck(false, "unknown GPU spec '" << name << "'");
+    return {};
+}
+
+sim::GpuSpec
+ConversionCase::spec() const
+{
+    return specByName(specName);
+}
+
+ConversionCase
+randomConversionCase(std::mt19937 &rng, const GenOptions &opt)
+{
+    ConversionCase c;
+    c.specName = pickOne<std::string>(rng, {"gh200", "rtx4090", "mi250"});
+    GenOptions local = opt;
+    local.warpSize = specByName(c.specName).warpSize;
+
+    const int rank =
+        std::uniform_int_distribution<int>(1, opt.maxRank)(rng);
+    auto shape = randomShape(rng, rank, opt.maxElements);
+    c.elemBytes = pickOne<int>(rng, {1, 2, 2, 4});
+
+    std::string srcDesc, dstDesc;
+    c.src = randomDistributed(rng, shape, local, &srcDesc);
+    c.dst = randomDistributed(rng, shape, local, &dstDesc);
+    c.summary = srcDesc + " -> " + dstDesc + " @" + c.specName + " b" +
+                std::to_string(c.elemBytes);
+    return c;
+}
+
+std::vector<ShapeOp>
+randomShapeOpChain(std::mt19937 &rng, const triton::Shape &shape,
+                   int length)
+{
+    std::vector<ShapeOp> chain;
+    triton::Shape cur = shape;
+    for (int step = 0; step < length; ++step) {
+        ShapeOp op;
+        const int rank = static_cast<int>(cur.size());
+        if (pickOne<int>(rng, {0, 1}) == 0 && rank > 1) {
+            op.kind = ShapeOp::Transpose;
+            op.order.resize(static_cast<size_t>(rank));
+            std::iota(op.order.begin(), op.order.end(), 0);
+            std::shuffle(op.order.begin(), op.order.end(), rng);
+            triton::Shape next(cur.size());
+            for (int j = 0; j < rank; ++j) {
+                next[static_cast<size_t>(j)] =
+                    cur[static_cast<size_t>(op.order[j])];
+            }
+            cur = next;
+        } else {
+            op.kind = ShapeOp::Reshape;
+            int64_t total = 1;
+            for (int32_t s : cur)
+                total *= s;
+            int newRank = std::uniform_int_distribution<int>(1, 3)(rng);
+            triton::Shape next(static_cast<size_t>(newRank), 1);
+            int64_t budget = total;
+            while (budget > 1) {
+                size_t d = std::uniform_int_distribution<size_t>(
+                    0, static_cast<size_t>(newRank) - 1)(rng);
+                next[d] *= 2;
+                budget /= 2;
+            }
+            op.newShape = next;
+            cur = next;
+        }
+        chain.push_back(std::move(op));
+    }
+    return chain;
+}
+
+} // namespace check
+} // namespace ll

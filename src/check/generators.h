@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Random-but-valid layout and conversion-case generators.
+ *
+ * CSmith-style differential testing needs a steady supply of inputs that
+ * are random enough to reach odd corners of the lowering code yet always
+ * satisfy the preconditions of the planner (surjective distributed
+ * layouts over a shared logical tensor, Definition 4.10). This module
+ * centralizes those generators — previously inlined in
+ * tests/property_test.cpp — and extends them to every encoding family of
+ * Section 4.3: blocked, MMA (v2/v3), MFMA, dot operands, and sliced
+ * layouts, plus shared-memory layouts and random shape-op chains.
+ *
+ * All generators draw from a caller-owned std::mt19937 so a fuzzing run
+ * is reproducible from its seed alone.
+ */
+
+#ifndef LL_CHECK_GENERATORS_H
+#define LL_CHECK_GENERATORS_H
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "layout/linear_layout.h"
+#include "sim/gpu_spec.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace check {
+
+/** Bounds shared by all generators. */
+struct GenOptions
+{
+    int warpSize = 32; ///< lanes per warp of generated encodings
+    int numWarps = 4;  ///< warps per CTA of generated encodings
+    int maxRank = 3;   ///< blocked encodings range over ranks 1..maxRank
+    /** Upper bound on tensor elements (keeps the oracle fast and the
+     *  tensor inside shared memory for every element width). */
+    int64_t maxElements = int64_t(1) << 12;
+};
+
+/** Uniform pick from a small option list. */
+template <typename T>
+T
+pickOne(std::mt19937 &rng, const std::vector<T> &opts)
+{
+    return opts[std::uniform_int_distribution<size_t>(0, opts.size() - 1)(
+        rng)];
+}
+
+/** A random power-of-two shape of the given rank with product capped at
+ *  maxElements. */
+triton::Shape randomShape(std::mt19937 &rng, int rank,
+                          int64_t maxElements);
+
+/** A random valid blocked encoding of the given rank: random order,
+ *  sizePerThread in {1,2,4}, and the lane/warp budgets of `opt`
+ *  distributed randomly over the dims (products stay exact). */
+triton::BlockedEncoding randomBlocked(std::mt19937 &rng, int rank,
+                                      const GenOptions &opt = {});
+
+/** A random Ampere (v2) or Hopper (v3) MMA accumulator encoding whose
+ *  warpsPerCta multiplies out to opt.numWarps. */
+triton::MmaEncoding randomMma(std::mt19937 &rng,
+                              const GenOptions &opt = {});
+
+/** A random AMD mfma accumulator encoding (64-lane wavefronts). */
+triton::MfmaEncoding randomMfma(std::mt19937 &rng,
+                                const GenOptions &opt = {});
+
+/** A random dot-operand (MMA input) encoding over a v2 parent. */
+triton::DotOperandEncoding randomDotOperand(std::mt19937 &rng,
+                                            const GenOptions &opt = {});
+
+/**
+ * A random distributed layout over `shape` drawn from every family that
+ * supports the shape's rank (blocked always; MMA/dot-operand on 2D
+ * 32-lane configs; MFMA on 2D 64-lane configs; sliced layouts built from
+ * a rank+1 blocked parent). If descOut is non-null it receives a short
+ * provenance string ("blocked[...]", "mma.v3", ...).
+ */
+LinearLayout randomDistributed(std::mt19937 &rng,
+                               const triton::Shape &shape,
+                               const GenOptions &opt = {},
+                               std::string *descOut = nullptr);
+
+/** A random shared-memory (offset -> tensor) layout over `shape`:
+ *  unswizzled with a random order, or (2D only) mma-swizzled with random
+ *  legal parameters. */
+LinearLayout randomSharedMemoryLayout(std::mt19937 &rng,
+                                      const triton::Shape &shape,
+                                      std::string *descOut = nullptr);
+
+/**
+ * A full differential-testing case: two surjective distributed layouts
+ * over one logical tensor, an element width, and the GPU spec to plan
+ * against. `summary` records the provenance for failure reports.
+ */
+struct ConversionCase
+{
+    LinearLayout src;
+    LinearLayout dst;
+    int elemBytes = 2;
+    std::string specName = "gh200";
+    std::string summary;
+
+    sim::GpuSpec spec() const;
+};
+
+/** Look up a GpuSpec by name ("rtx4090", "gh200", "mi250"). */
+sim::GpuSpec specByName(const std::string &name);
+
+/**
+ * A random conversion case. Lane counts of the two sides always match
+ * the chosen spec's warp size (32-lane families on NVIDIA specs, MFMA
+ * and 64-lane blocked on mi250), so every lowering path is reachable.
+ */
+ConversionCase randomConversionCase(std::mt19937 &rng,
+                                    const GenOptions &opt = {});
+
+/** One step of a random shape-op chain (for shape-transfer testing). */
+struct ShapeOp
+{
+    enum Kind { Transpose, Reshape } kind = Transpose;
+    /** Transpose: order[j] = input dim that becomes output dim j. */
+    std::vector<int32_t> order;
+    /** Reshape: the new logical shape (same element count). */
+    triton::Shape newShape;
+};
+
+/** A random chain of `length` transpose/reshape ops starting from
+ *  `shape`; each op's parameters are valid for the shape produced by the
+ *  previous one. */
+std::vector<ShapeOp> randomShapeOpChain(std::mt19937 &rng,
+                                        const triton::Shape &shape,
+                                        int length);
+
+} // namespace check
+} // namespace ll
+
+#endif // LL_CHECK_GENERATORS_H

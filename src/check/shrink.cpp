@@ -1,0 +1,273 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace check {
+
+namespace {
+
+/** Rebuild a layout from edited bases; nullopt unless still surjective
+ *  (the planner's precondition). */
+std::optional<LinearLayout>
+rebuild(LinearLayout::BasesT bases,
+        std::vector<LinearLayout::DimSize> outDims)
+{
+    try {
+        LinearLayout candidate(std::move(bases), std::move(outDims),
+                               /*requireSurjective=*/false);
+        if (!candidate.isSurjective())
+            return std::nullopt;
+        return candidate;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+/** Halve output dim `dim`, dropping every basis vector that touches its
+ *  upper half. */
+std::optional<LinearLayout>
+halveOutDim(const LinearLayout &layout, const std::string &dim)
+{
+    int32_t size = layout.getOutDimSize(dim);
+    if (size < 2)
+        return std::nullopt;
+    const int32_t half = size / 2;
+    auto outNames = layout.getOutDimNames();
+    size_t dimIdx = 0;
+    while (outNames[dimIdx] != dim)
+        ++dimIdx;
+
+    LinearLayout::BasesT bases;
+    for (const auto &inDim : layout.getInDimNames()) {
+        std::vector<std::vector<int32_t>> vecs;
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(inDim); ++i) {
+            auto basis = layout.getBasis(inDim, i);
+            if (basis[dimIdx] >= half)
+                continue;
+            vecs.push_back(std::move(basis));
+        }
+        bases.insert(inDim, std::move(vecs));
+    }
+    auto outDims = layout.getOutDims();
+    outDims[dimIdx].second = half;
+    return rebuild(std::move(bases), std::move(outDims));
+}
+
+/** Remove basis vector `pos` of input dim `inDim` (halves the dim). */
+std::optional<LinearLayout>
+dropInBasis(const LinearLayout &layout, const std::string &inDim,
+            int32_t pos)
+{
+    LinearLayout::BasesT bases;
+    for (const auto &dim : layout.getInDimNames()) {
+        std::vector<std::vector<int32_t>> vecs;
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(dim); ++i) {
+            if (dim == inDim && i == pos)
+                continue;
+            vecs.push_back(layout.getBasis(dim, i));
+        }
+        bases.insert(dim, std::move(vecs));
+    }
+    return rebuild(std::move(bases), layout.getOutDims());
+}
+
+/** Zero basis vector `pos` of input dim `inDim` (keeps all sizes). */
+std::optional<LinearLayout>
+zeroInBasis(const LinearLayout &layout, const std::string &inDim,
+            int32_t pos)
+{
+    auto basis = layout.getBasis(inDim, pos);
+    bool alreadyZero = true;
+    for (int32_t c : basis)
+        alreadyZero = alreadyZero && c == 0;
+    if (alreadyZero)
+        return std::nullopt;
+
+    LinearLayout::BasesT bases;
+    for (const auto &dim : layout.getInDimNames()) {
+        std::vector<std::vector<int32_t>> vecs;
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(dim); ++i) {
+            auto b = layout.getBasis(dim, i);
+            if (dim == inDim && i == pos)
+                b.assign(b.size(), 0);
+            vecs.push_back(std::move(b));
+        }
+        bases.insert(dim, std::move(vecs));
+    }
+    return rebuild(std::move(bases), layout.getOutDims());
+}
+
+} // namespace
+
+int64_t
+caseElements(const ConversionCase &c)
+{
+    return c.src.getTotalOutDimSize();
+}
+
+ShrinkResult
+shrinkCase(const ConversionCase &failing, const CaseChecker &checker,
+           int maxChecks)
+{
+    ShrinkResult result;
+    result.minimized = failing;
+    int checksLeft = maxChecks;
+
+    // Returns the candidate's failing report, or nullopt if it passes
+    // (and so must be rejected).
+    auto failsWith =
+        [&](const ConversionCase &c) -> std::optional<ShrinkResult> {
+        if (checksLeft-- <= 0)
+            return std::nullopt;
+        ShrinkResult r;
+        r.minimized = c;
+        try {
+            r.report = checker(c);
+            if (r.report.ok())
+                return std::nullopt;
+        } catch (const std::exception &e) {
+            r.exceptionMessage = e.what();
+        }
+        return r;
+    };
+
+    auto accept = [&](std::optional<ShrinkResult> r) {
+        if (!r.has_value())
+            return false;
+        result.minimized = std::move(r->minimized);
+        result.report = std::move(r->report);
+        result.exceptionMessage = std::move(r->exceptionMessage);
+        ++result.steps;
+        return true;
+    };
+
+    bool improved = true;
+    while (improved && checksLeft > 0) {
+        improved = false;
+        const ConversionCase &cur = result.minimized;
+
+        // 1. Halve logical dims, largest first: both layouts must admit
+        //    the cut for the candidate to stay a conversion pair.
+        auto outNames = cur.src.getOutDimNames();
+        std::sort(outNames.begin(), outNames.end(),
+                  [&](const std::string &x, const std::string &y) {
+                      return cur.src.getOutDimSize(x) >
+                             cur.src.getOutDimSize(y);
+                  });
+        for (const auto &dim : outNames) {
+            auto s = halveOutDim(cur.src, dim);
+            auto d = halveOutDim(cur.dst, dim);
+            if (!s || !d)
+                continue;
+            ConversionCase cand = cur;
+            cand.src = *s;
+            cand.dst = *d;
+            if (accept(failsWith(cand))) {
+                improved = true;
+                break;
+            }
+        }
+        if (improved)
+            continue;
+
+        // 2. Drop input basis vectors, highest position first.
+        for (bool onSrc : {true, false}) {
+            const LinearLayout &side = onSrc ? cur.src : cur.dst;
+            for (const auto &inDim : side.getInDimNames()) {
+                for (int32_t pos = side.getInDimSizeLog2(inDim) - 1;
+                     pos >= 0 && !improved; --pos) {
+                    auto shrunk = dropInBasis(side, inDim, pos);
+                    if (!shrunk)
+                        continue;
+                    ConversionCase cand = cur;
+                    (onSrc ? cand.src : cand.dst) = *shrunk;
+                    improved = accept(failsWith(cand));
+                }
+                if (improved)
+                    break;
+            }
+            if (improved)
+                break;
+        }
+        if (improved)
+            continue;
+
+        // 3. Zero basis vectors (keeps sizes; simplifies the map).
+        for (bool onSrc : {true, false}) {
+            const LinearLayout &side = onSrc ? cur.src : cur.dst;
+            for (const auto &inDim : side.getInDimNames()) {
+                for (int32_t pos = side.getInDimSizeLog2(inDim) - 1;
+                     pos >= 0 && !improved; --pos) {
+                    auto zeroed = zeroInBasis(side, inDim, pos);
+                    if (!zeroed)
+                        continue;
+                    ConversionCase cand = cur;
+                    (onSrc ? cand.src : cand.dst) = *zeroed;
+                    improved = accept(failsWith(cand));
+                }
+                if (improved)
+                    break;
+            }
+            if (improved)
+                break;
+        }
+    }
+    return result;
+}
+
+namespace {
+
+void
+emitLayoutCode(std::ostream &os, const LinearLayout &layout,
+               const std::string &var)
+{
+    os << "    LinearLayout::BasesT " << var << "Bases;\n";
+    for (const auto &inDim : layout.getInDimNames()) {
+        os << "    " << var << "Bases.insert(\"" << inDim << "\", {";
+        for (int32_t i = 0; i < layout.getInDimSizeLog2(inDim); ++i) {
+            auto basis = layout.getBasis(inDim, i);
+            os << (i ? ", {" : "{");
+            for (size_t j = 0; j < basis.size(); ++j)
+                os << (j ? ", " : "") << basis[j];
+            os << "}";
+        }
+        os << "});\n";
+    }
+    os << "    LinearLayout " << var << "(std::move(" << var
+       << "Bases),\n        {";
+    auto outs = layout.getOutDims();
+    for (size_t j = 0; j < outs.size(); ++j) {
+        os << (j ? ", " : "") << "{\"" << outs[j].first << "\", "
+           << outs[j].second << "}";
+    }
+    os << "},\n        /*requireSurjective=*/false);\n";
+}
+
+} // namespace
+
+std::string
+emitRegressionTest(const ConversionCase &c, const std::string &testName)
+{
+    std::ostringstream os;
+    os << "// Shrunk from: " << c.summary << "\n";
+    os << "TEST(LLFuzzRegression, " << testName << ")\n{\n";
+    emitLayoutCode(os, c.src, "src");
+    emitLayoutCode(os, c.dst, "dst");
+    os << "    check::ConversionCase c;\n"
+       << "    c.src = src;\n"
+       << "    c.dst = dst;\n"
+       << "    c.elemBytes = " << c.elemBytes << ";\n"
+       << "    c.specName = \"" << c.specName << "\";\n"
+       << "    auto report = check::checkConversionCase(c);\n"
+       << "    EXPECT_TRUE(report.ok()) << report.toString();\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace check
+} // namespace ll

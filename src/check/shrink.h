@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Failing-case minimization (delta debugging for layout conversions).
+ *
+ * When the differential oracle flags a conversion, the raw case is
+ * usually a large random layout pair that no human wants to stare at.
+ * The shrinker greedily applies size-reducing moves — halving logical
+ * tensor dimensions and dropping or zeroing basis vectors of either
+ * layout — re-running the checker after each move and keeping it only
+ * while the failure still reproduces. Moves that would break the
+ * planner's preconditions (surjectivity) are skipped, so every
+ * intermediate candidate is a valid input.
+ *
+ * The minimized case can be emitted as a ready-to-paste GoogleTest
+ * regression test and as a corpus file (see case_io.h).
+ */
+
+#ifndef LL_CHECK_SHRINK_H
+#define LL_CHECK_SHRINK_H
+
+#include <functional>
+#include <string>
+
+#include "check/generators.h"
+#include "check/oracle.h"
+
+namespace ll {
+namespace check {
+
+/** Re-runs plan+check on a candidate; must return a failing report (or
+ *  throw) for the original case. Shrinking preserves "checker fails". */
+using CaseChecker = std::function<OracleReport(const ConversionCase &)>;
+
+struct ShrinkResult
+{
+    ConversionCase minimized;
+    /** Accepted shrink moves. */
+    int steps = 0;
+    /** Report of the minimized case (empty detail if the checker threw;
+     *  then `exceptionMessage` holds what it said). */
+    OracleReport report;
+    std::string exceptionMessage;
+};
+
+/** Total logical tensor elements of a case. */
+int64_t caseElements(const ConversionCase &c);
+
+/**
+ * Greedily minimize `failing` under `checker`. A candidate is accepted
+ * when the checker reports not-ok *or* throws; the loop runs to a fixed
+ * point. `maxChecks` bounds the total checker invocations.
+ */
+ShrinkResult shrinkCase(const ConversionCase &failing,
+                        const CaseChecker &checker,
+                        int maxChecks = 4000);
+
+/** C++ source of a self-contained GoogleTest regression test
+ *  reconstructing the case and asserting the oracle passes. */
+std::string emitRegressionTest(const ConversionCase &c,
+                               const std::string &testName);
+
+} // namespace check
+} // namespace ll
+
+#endif // LL_CHECK_SHRINK_H

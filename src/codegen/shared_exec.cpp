@@ -1,5 +1,6 @@
 #include "codegen/shared_exec.h"
 
+#include <map>
 #include <set>
 
 #include "layout/dims.h"
@@ -84,6 +85,122 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                         static_cast<uint64_t>(k));
                     if (loaded[lane][static_cast<size_t>(k)] != expect)
                         result.correct = false;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+SharedRoundTrip
+runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
+                   const LinearLayout &dst,
+                   const std::vector<uint64_t> &srcFile, int elemBytes,
+                   const sim::GpuSpec &spec)
+{
+    LinearLayout src = srcIn.transposeOuts(swz.memLayout.getOutDimNames());
+    LinearLayout dstAligned =
+        dst.transposeOuts(swz.memLayout.getOutDimNames());
+    llUserCheck(srcFile.size() ==
+                    static_cast<size_t>(src.getTotalInDimSize()),
+                "source register file size does not match the layout");
+
+    SharedRoundTrip result;
+    const int64_t numElems = src.getTotalOutDimSize();
+    sim::SharedMemory smem(spec, elemBytes, numElems);
+    const int vec = swz.vecElems();
+    const uint64_t vecMask = static_cast<uint64_t>(vec) - 1;
+
+    // Per thread, the offset every register writes to; grouped into
+    // vec-aligned windows so each window becomes one vectorized access.
+    auto offsetOf = [&](const LinearLayout &dist, uint64_t in) {
+        return swz.tensorToOffset.applyFlat(dist.applyFlat(in));
+    };
+
+    // --- store phase ---------------------------------------------------
+    const int srcRegLog = src.getInDimSizeLog2(kReg);
+    const int srcLaneLog = src.getInDimSizeLog2(kLane);
+    const int srcWarps =
+        src.hasInDim(kWarp) ? src.getInDimSize(kWarp) : 1;
+    const int srcLanes = 1 << srcLaneLog;
+    auto storeReps = registerGroupReps(swz, src);
+    for (int warp = 0; warp < srcWarps; ++warp) {
+        // Per lane: vec-window base -> (slot within window, payload).
+        std::vector<std::map<int64_t,
+                             std::vector<std::pair<int, uint64_t>>>>
+            held(static_cast<size_t>(srcLanes));
+        for (int lane = 0; lane < srcLanes; ++lane) {
+            for (int32_t reg = 0; reg < (1 << srcRegLog); ++reg) {
+                uint64_t in =
+                    static_cast<uint64_t>(reg) |
+                    (static_cast<uint64_t>(lane) << srcRegLog) |
+                    (static_cast<uint64_t>(warp)
+                     << (srcRegLog + srcLaneLog));
+                uint64_t off = offsetOf(src, in);
+                held[static_cast<size_t>(lane)]
+                    [static_cast<int64_t>(off & ~vecMask)]
+                        .emplace_back(static_cast<int>(off & vecMask),
+                                      srcFile[static_cast<size_t>(in)]);
+            }
+        }
+        for (int32_t rep : storeReps) {
+            auto offsets =
+                warpAccessOffsets(swz, src, rep, warp, srcLanes);
+            std::vector<std::vector<uint64_t>> values(
+                offsets.size(),
+                std::vector<uint64_t>(static_cast<size_t>(vec),
+                                      sim::SharedMemory::kPoison));
+            for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                auto it = held[lane].find(offsets[lane]);
+                if (it == held[lane].end())
+                    continue;
+                for (const auto &[slot, payload] : it->second)
+                    values[lane][static_cast<size_t>(slot)] = payload;
+            }
+            smem.warpStore(offsets, vec, values, result.storeStats);
+        }
+    }
+
+    // --- load phase ----------------------------------------------------
+    const int dstRegLog = dstAligned.getInDimSizeLog2(kReg);
+    const int dstLaneLog = dstAligned.getInDimSizeLog2(kLane);
+    const int dstWarps =
+        dstAligned.hasInDim(kWarp) ? dstAligned.getInDimSize(kWarp) : 1;
+    const int dstLanes = 1 << dstLaneLog;
+    result.dstFile.assign(
+        static_cast<size_t>(dstAligned.getTotalInDimSize()),
+        sim::SharedMemory::kPoison);
+    auto loadReps = registerGroupReps(swz, dstAligned);
+    for (int warp = 0; warp < dstWarps; ++warp) {
+        // Per lane: vec-window base -> (slot, dst flat input) readers.
+        std::vector<std::map<int64_t,
+                             std::vector<std::pair<int, uint64_t>>>>
+            wanted(static_cast<size_t>(dstLanes));
+        for (int lane = 0; lane < dstLanes; ++lane) {
+            for (int32_t reg = 0; reg < (1 << dstRegLog); ++reg) {
+                uint64_t in =
+                    static_cast<uint64_t>(reg) |
+                    (static_cast<uint64_t>(lane) << dstRegLog) |
+                    (static_cast<uint64_t>(warp)
+                     << (dstRegLog + dstLaneLog));
+                uint64_t off = offsetOf(dstAligned, in);
+                wanted[static_cast<size_t>(lane)]
+                    [static_cast<int64_t>(off & ~vecMask)]
+                        .emplace_back(static_cast<int>(off & vecMask),
+                                      in);
+            }
+        }
+        for (int32_t rep : loadReps) {
+            auto offsets =
+                warpAccessOffsets(swz, dstAligned, rep, warp, dstLanes);
+            auto loaded = smem.warpLoad(offsets, vec, result.loadStats);
+            for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                auto it = wanted[lane].find(offsets[lane]);
+                if (it == wanted[lane].end())
+                    continue;
+                for (const auto &[slot, in] : it->second) {
+                    result.dstFile[static_cast<size_t>(in)] =
+                        loaded[lane][static_cast<size_t>(slot)];
                 }
             }
         }

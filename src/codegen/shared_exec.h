@@ -38,6 +38,34 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                         const LinearLayout &dst, int elemBytes,
                         const sim::GpuSpec &spec);
 
+/** The data produced by one simulated shared round trip. */
+struct SharedRoundTrip
+{
+    /** Values each destination register ends up holding, indexed by the
+     *  flat dst input index; sim::SharedMemory::kPoison where no load
+     *  reached the register. */
+    std::vector<uint64_t> dstFile;
+    sim::AccessStats storeStats;
+    sim::AccessStats loadStats;
+};
+
+/**
+ * Execute the shared round trip on an *explicit* source register file:
+ * srcFile[flat src input index] holds the payload that thread register
+ * carries. Unlike executeSharedConversion, nothing about the payloads is
+ * derived from the swizzle itself, so a corrupted address map cannot
+ * self-consistently hide — aliased stores lose data and stale cells
+ * surface as kPoison. This is the execution backend of the differential
+ * oracle (src/check). Both layouts must have their input dims in
+ * canonical (register, lane, warp) order; each side's warp size is its
+ * own lane-dim size.
+ */
+SharedRoundTrip
+runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &src,
+                   const LinearLayout &dst,
+                   const std::vector<uint64_t> &srcFile, int elemBytes,
+                   const sim::GpuSpec &spec);
+
 } // namespace codegen
 } // namespace ll
 

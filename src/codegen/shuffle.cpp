@@ -48,82 +48,100 @@ setDifference(const std::vector<uint64_t> &u, const std::vector<uint64_t> &v)
     return out;
 }
 
-/** The conversion matrix columns of B^-1 . A over flattened in spaces. */
-f2::F2Matrix
-conversionMatrix(const LinearLayout &a, const LinearLayout &b)
+/** log2 size of an in dim, 0 when the dim is absent. */
+int
+inBits(const LinearLayout &l, const std::string &dim)
 {
-    LinearLayout conv =
-        a.invertAndCompose(b.transposeOuts(a.getOutDimNames()));
-    return conv.toF2Matrix();
+    return l.hasInDim(dim) ? l.getInDimSizeLog2(dim) : 0;
+}
+
+/**
+ * Flattened per-bit columns of `dim`, zero-padded to `bits` entries.
+ * Padding encodes SPMD broadcast: hardware lanes/warps past a layout's
+ * in-dim size hold the truncated coordinate's data, exactly as if the
+ * missing high bits carried zero basis vectors.
+ */
+std::vector<uint64_t>
+paddedColumns(const LinearLayout &l, const std::string &dim, int bits)
+{
+    auto cols = flatColumns(l, dim);
+    cols.resize(static_cast<size_t>(bits), 0);
+    return cols;
 }
 
 } // namespace
 
 bool
-conversionIsNoOp(const LinearLayout &a, const LinearLayout &b)
+conversionIsNoOp(const LinearLayout &a, const LinearLayout &bIn)
 {
-    if (a.getInDimNames() != b.getInDimNames())
+    LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
+    // Emitting nothing is correct iff both sides are literally the same
+    // function of (register, lane, warp) over the joint thread space.
+    // Register counts must agree exactly — there is no SPMD replication
+    // across registers, so a size mismatch always needs data movement.
+    if (inBits(a, kReg) != inBits(b, kReg))
         return false;
-    for (const auto &dim : a.getInDimNames()) {
-        if (a.getInDimSize(dim) != b.getInDimSize(dim))
+    for (const auto &dim : {kReg, kLane, kWarp}) {
+        int bits = std::max(inBits(a, dim), inBits(b, dim));
+        if (paddedColumns(a, dim, bits) != paddedColumns(b, dim, bits))
             return false;
     }
-    f2::F2Matrix conv = conversionMatrix(a, b);
-    // Flattened source columns of A, to tell real zeros from broadcast.
-    std::vector<uint64_t> aCols;
-    for (const auto &dim : a.getInDimNames()) {
-        auto f = flatColumns(a, dim);
-        aCols.insert(aCols.end(), f.begin(), f.end());
-    }
-    for (int p = 0; p < conv.numCols(); ++p) {
-        uint64_t col = conv.getCol(p);
-        if (col == (uint64_t(1) << p))
-            continue;
-        if (col == 0 && aCols[static_cast<size_t>(p)] == 0)
-            continue; // broadcast bit: value is duplicated anyway
-        return false;
-    }
     return true;
 }
 
 bool
-conversionIsRegisterPermute(const LinearLayout &a, const LinearLayout &b)
+conversionIsRegisterPermute(const LinearLayout &a, const LinearLayout &bIn)
 {
-    if (!a.hasInDim(kReg) || !b.hasInDim(kReg))
-        return false;
-    f2::F2Matrix conv = conversionMatrix(a, b);
-    const int regLog = a.getInDimSizeLog2(kReg);
-    const uint64_t regMask = (uint64_t(1) << regLog) - 1;
-    for (int p = 0; p < conv.numCols(); ++p) {
-        uint64_t col = conv.getCol(p);
-        if (p < regLog) {
-            if ((col & ~regMask) != 0)
-                return false; // register data escapes the thread
-        } else if (col != (uint64_t(1) << p)) {
-            return false; // lane/warp must map identically
+    LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
+    // A per-thread register rewrite is valid iff every element B places
+    // in a thread is already held by that thread under A. Thread (l, w)
+    // holds the coset Im(R_a) + L_a l + W_a w, so the condition is
+    //   Im(R_b) <= Im(R_a),   (L_a + L_b) columns in Im(R_a),
+    //   (W_a + W_b) columns in Im(R_a)
+    // over the flattened tensor space (Section 5.4's intra-thread case,
+    // stated on availability cosets so replication is handled exactly).
+    f2::EchelonBasis regSpan(flatColumns(a, kReg));
+    for (uint64_t col : flatColumns(b, kReg)) {
+        if (!regSpan.contains(col))
+            return false;
+    }
+    for (const auto &dim : {kLane, kWarp}) {
+        int bits = std::max(inBits(a, dim), inBits(b, dim));
+        auto ca = paddedColumns(a, dim, bits);
+        auto cb = paddedColumns(b, dim, bits);
+        for (int i = 0; i < bits; ++i) {
+            if (!regSpan.contains(ca[static_cast<size_t>(i)] ^
+                                  cb[static_cast<size_t>(i)]))
+                return false;
         }
     }
     return true;
 }
 
 bool
-conversionIsIntraWarp(const LinearLayout &a, const LinearLayout &b)
+conversionIsIntraWarp(const LinearLayout &a, const LinearLayout &bIn)
 {
-    if (!a.hasInDim(kReg) || !a.hasInDim(kLane))
-        return false;
-    f2::F2Matrix conv = conversionMatrix(a, b);
-    const int regLog = a.getInDimSizeLog2(kReg);
-    const int laneLog = a.getInDimSizeLog2(kLane);
-    const int warpBase = regLog + laneLog;
-    const uint64_t intraMask = (uint64_t(1) << warpBase) - 1;
-    for (int p = 0; p < conv.numCols(); ++p) {
-        uint64_t col = conv.getCol(p);
-        if (p < warpBase) {
-            if ((col & ~intraMask) != 0)
-                return false; // data crosses into another warp
-        } else if (col != (uint64_t(1) << p)) {
-            return false; // warp must map identically
+    LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
+    // Same availability argument one level up: warp w holds the coset
+    // span(R_a u L_a) + W_a w, so shuffles suffice iff
+    //   Im(R_b u L_b) <= span(R_a u L_a),
+    //   (W_a + W_b) columns in span(R_a u L_a).
+    f2::EchelonBasis warpSpan(flatColumns(a, kReg));
+    for (uint64_t col : flatColumns(a, kLane))
+        warpSpan.insert(col);
+    for (const auto &dim : {kReg, kLane}) {
+        for (uint64_t col : flatColumns(b, dim)) {
+            if (!warpSpan.contains(col))
+                return false;
         }
+    }
+    int bits = std::max(inBits(a, kWarp), inBits(b, kWarp));
+    auto ca = paddedColumns(a, kWarp, bits);
+    auto cb = paddedColumns(b, kWarp, bits);
+    for (int i = 0; i < bits; ++i) {
+        if (!warpSpan.contains(ca[static_cast<size_t>(i)] ^
+                               cb[static_cast<size_t>(i)]))
+            return false;
     }
     return true;
 }

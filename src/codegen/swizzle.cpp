@@ -39,6 +39,24 @@ setDifference(const std::vector<uint64_t> &u, const std::vector<uint64_t> &v)
     return out;
 }
 
+/**
+ * Number of 128-byte wavefront groups one warp access of `dist` splits
+ * into: lanes * vecBytes / wavefrontBytes. The high log2(groups) lane
+ * *bits* select the group, so they land in separate wavefronts and can
+ * never bank-conflict — they must be excluded from the Lemma 9.4 span
+ * intersection. For 32-lane warps this reduces to the paper's
+ * vecBytes / bankWidth rule (Appendix 9.2); 64-lane wavefronts (CDNA)
+ * split even scalar accesses in half, which the original rule missed.
+ */
+int64_t
+wavefrontGroups(const LinearLayout &dist, int vecBytes,
+                const sim::GpuSpec &spec)
+{
+    int64_t lanes =
+        dist.hasInDim(dims::kLane) ? dist.getInDimSize(dims::kLane) : 1;
+    return std::max<int64_t>(1, lanes * vecBytes / spec.wavefrontBytes);
+}
+
 } // namespace
 
 SwizzledShared
@@ -78,20 +96,19 @@ computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
     bBits = std::min(bBits, d - v);
     const int sBits = d - v - bBits;
 
-    // Vectorized accesses wider than one bank split transactions, so the
-    // last log2(vecBytes/4) thread bits fall outside the 128-byte window
-    // and do not contribute to bank conflicts (Appendix 9.2).
-    const int removeCount =
-        vecBytes > spec.bankWidthBytes
-            ? log2Exact(static_cast<uint64_t>(vecBytes /
-                                              spec.bankWidthBytes))
-            : 0;
+    // Accesses spilling past one 128-byte wavefront split transactions,
+    // so the last log2(groups) thread bits fall outside the window and
+    // do not contribute to bank conflicts (Appendix 9.2, generalized to
+    // the layout's lane count — see wavefrontGroups).
+    //
     // Shrink on the per-bit basis list (high lane *bits* cross
     // transactions, whether or not they broadcast), then drop zeros.
     auto shrinkThreadBits = [&](const LinearLayout &l) {
         std::vector<uint64_t> cols;
         if (l.hasInDim(dims::kLane))
             cols = l.flattenedBases(dims::kLane);
+        const int removeCount = log2Exact(static_cast<uint64_t>(
+            wavefrontGroups(l, vecBytes, spec)));
         int keep = std::max<int>(
             0, static_cast<int>(cols.size()) - removeCount);
         cols.resize(static_cast<size_t>(keep));
@@ -311,17 +328,15 @@ analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
                       cols.begin() + swz.vecBits + swz.bankBits,
                       cols.end());
     // High lane bits land in separate 128-byte transactions (the A_Bank
-    // shrink of Appendix 9.2), so only the low thread columns can
-    // conflict within one wavefront.
+    // shrink of Appendix 9.2, generalized to the layout's lane count —
+    // see wavefrontGroups), so only the low thread columns can conflict
+    // within one wavefront.
     std::vector<uint64_t> lThr;
     if (dist.hasInDim(dims::kLane))
         lThr = dist.flattenedBases(dims::kLane);
     const int vecBytes = swz.vecElems() * elemBytes;
-    const int removeCount =
-        vecBytes > spec.bankWidthBytes
-            ? log2Exact(static_cast<uint64_t>(vecBytes /
-                                              spec.bankWidthBytes))
-            : 0;
+    const int64_t n = wavefrontGroups(dist, vecBytes, spec);
+    const int removeCount = log2Exact(static_cast<uint64_t>(n));
     if (static_cast<int>(lThr.size()) > removeCount) {
         lThr.resize(lThr.size() - static_cast<size_t>(removeCount));
     } else {
@@ -330,8 +345,6 @@ analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
     std::erase(lThr, uint64_t(0));
     auto inter = f2::intersectSpans(vecIdxCols, lThr, d);
     int64_t c = int64_t(1) << inter.size();
-    int64_t n = std::max<int64_t>(
-        1, static_cast<int64_t>(vecBytes) / spec.bankWidthBytes);
     return n * c;
 }
 

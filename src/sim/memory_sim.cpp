@@ -11,7 +11,7 @@ namespace sim {
 SharedMemory::SharedMemory(const GpuSpec &spec, int elemBytes,
                            int64_t numElems)
     : spec_(spec), elemBytes_(elemBytes),
-      cells_(static_cast<size_t>(numElems), ~uint64_t(0))
+      cells_(static_cast<size_t>(numElems), kPoison)
 {
     llUserCheck(elemBytes >= 1 && elemBytes <= 8,
                 "element width must be 1..8 bytes");

@@ -49,6 +49,14 @@ inline constexpr int64_t kInactiveLane = -1;
 class SharedMemory
 {
   public:
+    /**
+     * Every cell starts holding kPoison; a load that returns it means
+     * the cell was never stored — how the differential oracle detects
+     * address aliasing (two elements swizzled to one offset leave some
+     * other offset unwritten).
+     */
+    static constexpr uint64_t kPoison = ~uint64_t(0);
+
     SharedMemory(const GpuSpec &spec, int elemBytes, int64_t numElems);
 
     int64_t numElems() const { return static_cast<int64_t>(cells_.size()); }

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Replays the committed conversion-case corpus under tests/corpus/.
+ * Every file is a case llfuzz once generated and verified; replaying
+ * them pins the planner's behavior on a diverse, known-good population
+ * across encodings, element widths, and GPU specs. New cases are added
+ * with `llfuzz --emit-corpus tests/corpus` (see TESTING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/case_io.h"
+#include "check/oracle.h"
+
+#ifndef LL_CORPUS_DIR
+#error "build must define LL_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace ll {
+namespace {
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(LL_CORPUS_DIR)) {
+        if (entry.path().extension() == ".txt")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(Corpus, HasCommittedCases)
+{
+    EXPECT_GE(corpusFiles().size(), 16u)
+        << "corpus at " << LL_CORPUS_DIR << " looks empty";
+}
+
+TEST(Corpus, EveryCaseRoundTripsThroughCaseIo)
+{
+    for (const auto &file : corpusFiles()) {
+        auto c = check::readCaseFile(file);
+        std::ostringstream os;
+        check::writeCase(os, c);
+        std::istringstream is(os.str());
+        auto back = check::readCase(is);
+        EXPECT_EQ(back.src, c.src) << file;
+        EXPECT_EQ(back.dst, c.dst) << file;
+        EXPECT_EQ(back.elemBytes, c.elemBytes) << file;
+        EXPECT_EQ(back.specName, c.specName) << file;
+    }
+}
+
+TEST(Corpus, EveryCasePassesTheOracle)
+{
+    for (const auto &file : corpusFiles()) {
+        auto c = check::readCaseFile(file);
+        auto report = check::checkConversionCase(c);
+        EXPECT_TRUE(report.ok())
+            << file << " (" << c.summary << ")\n  " << report.toString();
+    }
+}
+
+} // namespace
+} // namespace ll

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Degenerate-layout tests: the planner and the differential oracle must
+ * handle the edges of the layout space — rank-1 tensors, size-1 dims,
+ * all-broadcast (zero-column) layouts, and layouts confined to a single
+ * lane or warp — without misclassifying or crashing. Several of these
+ * shapes were historically reachable only through fuzzing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/generators.h"
+#include "check/oracle.h"
+#include "codegen/conversion.h"
+#include "codegen/shuffle.h"
+#include "layout/dims.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace {
+
+using dims::kLane;
+using dims::kReg;
+using dims::kWarp;
+
+/** Build a layout from per-dim basis lists over a single logical dim. */
+LinearLayout
+make1D(std::vector<std::vector<int32_t>> reg,
+       std::vector<std::vector<int32_t>> lane,
+       std::vector<std::vector<int32_t>> warp, int32_t dimSize)
+{
+    LinearLayout::BasesT bases;
+    bases.insert(kReg, std::move(reg));
+    bases.insert(kLane, std::move(lane));
+    bases.insert(kWarp, std::move(warp));
+    return LinearLayout(std::move(bases), {{"dim0", dimSize}},
+                        /*requireSurjective=*/true);
+}
+
+check::OracleReport
+checkPair(const LinearLayout &src, const LinearLayout &dst,
+          const std::string &specName = "gh200", int elemBytes = 4)
+{
+    check::ConversionCase c;
+    c.src = src;
+    c.dst = dst;
+    c.elemBytes = elemBytes;
+    c.specName = specName;
+    c.summary = "degenerate";
+    return check::checkConversionCase(c);
+}
+
+TEST(Degenerate, Rank1ConversionRoundTrips)
+{
+    triton::BlockedEncoding a;
+    a.sizePerThread = {2};
+    a.threadsPerWarp = {32};
+    a.warpsPerCta = {4};
+    a.order = {0};
+    triton::BlockedEncoding b = a;
+    b.sizePerThread = {8};
+    auto src = a.toLinearLayout({256});
+    auto dst = b.toLinearLayout({256});
+    auto report = checkPair(src, dst);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Degenerate, SizeOneDimsConvert)
+{
+    for (const triton::Shape &shape :
+         {triton::Shape{1, 64}, triton::Shape{64, 1},
+          triton::Shape{1, 1}}) {
+        triton::BlockedEncoding a;
+        a.sizePerThread = {1, 2};
+        a.threadsPerWarp = {4, 8};
+        a.warpsPerCta = {2, 2};
+        a.order = {0, 1};
+        triton::BlockedEncoding b = a;
+        b.order = {1, 0};
+        b.sizePerThread = {2, 1};
+        auto report =
+            checkPair(a.toLinearLayout(shape), b.toLinearLayout(shape));
+        EXPECT_TRUE(report.ok())
+            << shape[0] << "x" << shape[1] << ": " << report.toString();
+    }
+}
+
+TEST(Degenerate, AllBroadcastLayoutsConvert)
+{
+    // A one-element tensor replicated in every register, lane and warp:
+    // every basis vector is zero. Conversion is trivially a no-op and
+    // must be planned as one (no shared-memory round trip for nothing).
+    auto all = make1D({{0}}, {{0}, {0}, {0}, {0}, {0}}, {{0}, {0}}, 1);
+    auto plan =
+        codegen::planConversion(all, all, 4, sim::GpuSpec::gh200());
+    EXPECT_EQ(plan.kind, codegen::ConversionKind::NoOp);
+    auto report = checkPair(all, all);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Degenerate, BroadcastDestinationNeedsNoData)
+{
+    // src holds the single element in warp 0 only (warp dim size 1);
+    // dst replicates it across two warps via a zero basis. Every warp
+    // can produce the value from its own registers, so a register
+    // permute (or no-op) is valid — the planner must not fall back to
+    // shared memory, and the oracle must agree.
+    auto src = make1D({}, {}, {}, 1);
+    auto dst = make1D({}, {}, {{0}}, 1);
+    EXPECT_TRUE(codegen::conversionIsRegisterPermute(src, dst));
+    auto report = checkPair(src, dst);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Degenerate, SingleLaneSingleWarpRegisterFile)
+{
+    // All 16 elements in the registers of one thread; conversion to a
+    // different register order stays a register permute.
+    auto src = make1D({{1}, {2}, {4}, {8}}, {}, {}, 16);
+    auto dst = make1D({{8}, {4}, {2}, {1}}, {}, {}, 16);
+    auto plan =
+        codegen::planConversion(src, dst, 4, sim::GpuSpec::gh200());
+    EXPECT_EQ(plan.kind, codegen::ConversionKind::RegisterPermute);
+    auto report = checkPair(src, dst);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Degenerate, GatherLanesIntoOneThread)
+{
+    // src spreads 32 elements across 32 lanes; dst wants all of them in
+    // the registers of every thread. That genuinely moves data across
+    // lanes, so it must NOT be classified as a register permute.
+    auto src = make1D({}, {{1}, {2}, {4}, {8}, {16}}, {}, 32);
+    auto dst = make1D({{1}, {2}, {4}, {8}, {16}},
+                      {{0}, {0}, {0}, {0}, {0}}, {}, 32);
+    EXPECT_FALSE(codegen::conversionIsRegisterPermute(src, dst));
+    auto plan =
+        codegen::planConversion(src, dst, 4, sim::GpuSpec::gh200());
+    EXPECT_NE(plan.kind, codegen::ConversionKind::NoOp);
+    EXPECT_NE(plan.kind, codegen::ConversionKind::RegisterPermute);
+    auto report = checkPair(src, dst);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Degenerate, PlannerCoversSingleWarpLayouts)
+{
+    // Lane-only layouts with no warp dim at all (single-warp kernels).
+    auto src = make1D({{16}}, {{1}, {2}, {4}, {8}}, {}, 32);
+    auto dst = make1D({{1}}, {{2}, {4}, {8}, {16}}, {}, 32);
+    auto report = checkPair(src, dst);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+} // namespace
+} // namespace ll

@@ -1,19 +1,26 @@
 /**
  * @file
  * Cross-module property tests: randomized sweeps tying the whole stack
- * together. Random encodings must always produce Definition 4.10
- * distributed layouts; every conversion the planner emits — whatever
- * lowering it chose — must move every element correctly when executed;
- * the optimal swizzle must never lose to the unswizzled layout; and the
- * shape-transfer functions must commute with element semantics.
+ * together. Random encodings from every family must produce Definition
+ * 4.10 distributed layouts; every conversion the planner emits —
+ * whatever lowering it chose — must pass the brute-force differential
+ * oracle; the optimal swizzle must never lose to the unswizzled layout;
+ * and random chains of shape-transfer functions must commute with
+ * element semantics.
+ *
+ * The random-encoding helpers these sweeps originally carried inline now
+ * live in src/check/generators.h, shared with the llfuzz fuzzer.
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
+#include <string>
 
+#include "check/generators.h"
+#include "check/oracle.h"
 #include "codegen/conversion.h"
-#include "codegen/shared_exec.h"
 #include "codegen/swizzle.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
@@ -26,42 +33,27 @@ using dims::kLane;
 using dims::kReg;
 using dims::kWarp;
 
-/** A random valid blocked encoding over `shape` with 32-lane warps. */
-triton::BlockedEncoding
-randomBlocked(std::mt19937 &rng, int rank)
+/** Named output coordinates of the element a flat input holds. */
+std::map<std::string, int64_t>
+coordsOf(const LinearLayout &l, uint64_t v)
 {
-    auto pick = [&](const std::vector<int32_t> &opts) {
-        return opts[std::uniform_int_distribution<size_t>(
-            0, opts.size() - 1)(rng)];
-    };
-    triton::BlockedEncoding enc;
-    enc.order.resize(static_cast<size_t>(rank));
-    for (int i = 0; i < rank; ++i)
-        enc.order[static_cast<size_t>(i)] = i;
-    std::shuffle(enc.order.begin(), enc.order.end(), rng);
+    std::map<std::string, int64_t> m;
+    for (const auto &p : l.unflattenOuts(l.applyFlat(v)))
+        m[p.first] = static_cast<int64_t>(p.second);
+    return m;
+}
 
-    enc.sizePerThread.assign(static_cast<size_t>(rank), 1);
-    enc.threadsPerWarp.assign(static_cast<size_t>(rank), 1);
-    enc.warpsPerCta.assign(static_cast<size_t>(rank), 1);
-    for (int i = 0; i < rank; ++i)
-        enc.sizePerThread[static_cast<size_t>(i)] = pick({1, 2, 4});
-    // Distribute 32 lanes and 4 warps over the dims.
-    int laneBudget = 32, warpBudget = 4;
-    for (int i = 0; i < rank; ++i) {
-        int32_t l = pick({1, 2, 4, 8});
-        l = std::min<int32_t>(l, laneBudget);
-        enc.threadsPerWarp[static_cast<size_t>(i)] = l;
-        laneBudget /= l;
+/** Row-major linear index of the element a flat input holds; the layout
+ *  must be canonical minor-to-major (first out dim fastest-moving). */
+int64_t
+rowMajorLin(const LinearLayout &l, uint64_t v)
+{
+    int64_t lin = 0, stride = 1;
+    for (const auto &p : l.unflattenOuts(l.applyFlat(v))) {
+        lin += static_cast<int64_t>(p.second) * stride;
+        stride *= l.getOutDimSize(p.first);
     }
-    enc.threadsPerWarp[0] *= laneBudget; // keep the product at 32
-    for (int i = 0; i < rank; ++i) {
-        int32_t w = pick({1, 2});
-        w = std::min<int32_t>(w, warpBudget);
-        enc.warpsPerCta[static_cast<size_t>(i)] = w;
-        warpBudget /= w;
-    }
-    enc.warpsPerCta[0] *= warpBudget;
-    return enc;
+    return lin;
 }
 
 class RandomizedSweep : public ::testing::TestWithParam<int>
@@ -71,67 +63,50 @@ class RandomizedSweep : public ::testing::TestWithParam<int>
 TEST_P(RandomizedSweep, BlockedEncodingsAreDistributedLayouts)
 {
     std::mt19937 rng(GetParam());
+    check::GenOptions gen;
     const triton::Shape shapes[] = {{32, 64}, {16, 16}, {64, 8}, {8, 128}};
     for (const auto &shape : shapes) {
-        auto enc = randomBlocked(rng, 2);
+        auto enc = check::randomBlocked(rng, 2, gen);
         auto layout = enc.toLinearLayout(shape);
         EXPECT_TRUE(layout.isSurjective());
         EXPECT_TRUE(triton::isDistributedLayout(layout));
-        EXPECT_EQ(layout.getInDimSize(kLane), 32);
-        EXPECT_EQ(layout.getInDimSize(kWarp), 4);
+        EXPECT_EQ(layout.getInDimSize(kLane), gen.warpSize);
+        EXPECT_EQ(layout.getInDimSize(kWarp), gen.numWarps);
         // Self-conversion is always a no-op.
         EXPECT_TRUE(codegen::conversionIsNoOp(layout, layout));
     }
 }
 
-TEST_P(RandomizedSweep, EveryPlannedConversionMovesElementsCorrectly)
+TEST_P(RandomizedSweep, EveryFamilyProducesDistributedLayouts)
 {
-    std::mt19937 rng(GetParam() + 500);
-    auto spec = sim::GpuSpec::gh200();
-    const triton::Shape shape = {32, 64};
-    auto src = randomBlocked(rng, 2).toLinearLayout(shape);
-    auto dst = randomBlocked(rng, 2).toLinearLayout(shape);
+    std::mt19937 rng(GetParam() + 250);
+    check::GenOptions gen;
+    for (int i = 0; i < 8; ++i) {
+        int rank = 1 + std::uniform_int_distribution<int>(
+                           0, gen.maxRank - 1)(rng);
+        auto shape = check::randomShape(rng, rank, gen.maxElements);
+        std::string desc;
+        auto layout = check::randomDistributed(rng, shape, gen, &desc);
+        EXPECT_TRUE(layout.isSurjective()) << desc;
+        EXPECT_TRUE(triton::isDistributedLayout(layout)) << desc;
+        EXPECT_TRUE(codegen::conversionIsNoOp(layout, layout)) << desc;
+    }
+}
 
-    auto plan = codegen::planConversion(src, dst, 2, spec);
-    switch (plan.kind) {
-      case codegen::ConversionKind::NoOp:
-        EXPECT_TRUE(codegen::conversionIsNoOp(src, dst));
-        break;
-      case codegen::ConversionKind::RegisterPermute:
-        EXPECT_TRUE(codegen::conversionIsRegisterPermute(src, dst));
-        break;
-      case codegen::ConversionKind::WarpShuffle: {
-        const auto &p = *plan.shuffle;
-        std::vector<std::vector<uint64_t>> regs(
-            static_cast<size_t>(p.warpSize));
-        for (int lane = 0; lane < p.warpSize; ++lane) {
-            for (int reg = 0; reg < p.numRegsA; ++reg) {
-                regs[static_cast<size_t>(lane)].push_back(src.applyFlat(
-                    static_cast<uint64_t>(reg) |
-                    (static_cast<uint64_t>(lane)
-                     << src.getInDimSizeLog2(kReg))));
-            }
-        }
-        auto out = p.execute(regs);
-        auto dstAligned = dst.transposeOuts(src.getOutDimNames());
-        for (int lane = 0; lane < p.warpSize; ++lane) {
-            for (int reg = 0; reg < p.numRegsB; ++reg) {
-                EXPECT_EQ(out[static_cast<size_t>(lane)]
-                             [static_cast<size_t>(reg)],
-                          dstAligned.applyFlat(
-                              static_cast<uint64_t>(reg) |
-                              (static_cast<uint64_t>(lane)
-                               << dstAligned.getInDimSizeLog2(kReg))));
-            }
-        }
-        break;
-      }
-      case codegen::ConversionKind::SharedMemory: {
-        auto result = codegen::executeSharedConversion(*plan.shared, src,
-                                                       dst, 2, spec);
-        EXPECT_TRUE(result.correct);
-        break;
-      }
+TEST_P(RandomizedSweep, EveryPlannedConversionPassesTheOracle)
+{
+    // The differential oracle re-checks whatever lowering the planner
+    // picked: element-for-element movement, thread locality, and (for
+    // shared-memory plans) measured-vs-analytic wavefronts. This covers
+    // all encoding families and all three GPU specs, not just blocked
+    // pairs on gh200 as the pre-generator version of this test did.
+    std::mt19937 rng(GetParam() + 500);
+    check::GenOptions gen;
+    for (int i = 0; i < 4; ++i) {
+        auto c = check::randomConversionCase(rng, gen);
+        auto report = check::checkConversionCase(c);
+        EXPECT_TRUE(report.ok()) << c.summary << "\n  "
+                                 << report.toString();
     }
 }
 
@@ -139,9 +114,10 @@ TEST_P(RandomizedSweep, OptimalSwizzleNeverLosesToUnswizzled)
 {
     std::mt19937 rng(GetParam() + 1000);
     auto spec = sim::GpuSpec::gh200();
+    check::GenOptions gen;
     const triton::Shape shape = {32, 64};
-    auto src = randomBlocked(rng, 2).toLinearLayout(shape);
-    auto dst = randomBlocked(rng, 2).toLinearLayout(shape);
+    auto src = check::randomBlocked(rng, 2, gen).toLinearLayout(shape);
+    auto dst = check::randomBlocked(rng, 2, gen).toLinearLayout(shape);
 
     auto swz = codegen::computeOptimalSwizzle(src, dst, 2, spec);
     auto flat = codegen::wrapMemoryLayout(
@@ -160,29 +136,45 @@ TEST_P(RandomizedSweep, OptimalSwizzleNeverLosesToUnswizzled)
     EXPECT_LE(optimalPerElem, naivePerElem);
 }
 
-TEST_P(RandomizedSweep, ShapeTransfersPreserveElementSemantics)
+TEST_P(RandomizedSweep, ShapeOpChainsPreserveElementSemantics)
 {
     std::mt19937 rng(GetParam() + 2000);
-    const triton::Shape shape = {32, 64};
+    check::GenOptions gen;
+    int rank = 2 + std::uniform_int_distribution<int>(0, 1)(rng);
+    auto shape = check::randomShape(rng, rank, int64_t(1) << 11);
     auto layout = engine::canonicalizeMinorToMajor(
-        randomBlocked(rng, 2).toLinearLayout(shape), 2);
+        check::randomBlocked(rng, rank, gen).toLinearLayout(shape), rank);
+    auto chain = check::randomShapeOpChain(rng, shape, 3);
 
-    // Transpose: element (i, j) must come from (j, i).
-    auto t = engine::transTransfer(layout, {1, 0});
-    for (uint64_t v = 0; v < 2048; v += 37) {
-        auto before = layout.unflattenOuts(layout.applyFlat(v));
-        auto after = t.unflattenOuts(t.applyFlat(v));
-        EXPECT_EQ(after[0].second, before[1].second);
-        EXPECT_EQ(after[1].second, before[0].second);
-    }
-    // Reshape: row-major linear index invariant.
-    auto r = engine::reshapeTransfer(layout, {64, 32});
-    for (uint64_t v = 0; v < 2048; v += 41) {
-        auto before = layout.unflattenOuts(layout.applyFlat(v));
-        int64_t lin = int64_t(before[1].second) * 64 + before[0].second;
-        auto after = r.unflattenOuts(r.applyFlat(v));
-        int64_t lin2 = int64_t(after[1].second) * 32 + after[0].second;
-        EXPECT_EQ(lin, lin2);
+    const uint64_t total =
+        static_cast<uint64_t>(layout.getTotalInDimSize());
+    for (const auto &op : chain) {
+        if (op.kind == check::ShapeOp::Transpose) {
+            auto next = engine::transTransfer(layout, op.order);
+            for (uint64_t v = 0; v < total; v += 37) {
+                auto before = coordsOf(layout, v);
+                auto after = coordsOf(next, v);
+                for (size_t j = 0; j < op.order.size(); ++j) {
+                    EXPECT_EQ(
+                        after["dim" + std::to_string(j)],
+                        before["dim" + std::to_string(op.order[j])]);
+                }
+            }
+            triton::Shape perm(op.order.size());
+            for (size_t j = 0; j < op.order.size(); ++j)
+                perm[j] = shape[static_cast<size_t>(op.order[j])];
+            shape = perm;
+            layout = engine::canonicalizeMinorToMajor(
+                next, static_cast<int>(op.order.size()));
+        } else {
+            auto next = engine::reshapeTransfer(layout, op.newShape);
+            auto canon = engine::canonicalizeMinorToMajor(
+                next, static_cast<int>(op.newShape.size()));
+            for (uint64_t v = 0; v < total; v += 41)
+                EXPECT_EQ(rowMajorLin(layout, v), rowMajorLin(canon, v));
+            shape = op.newShape;
+            layout = canon;
+        }
     }
 }
 
@@ -198,6 +190,8 @@ TEST_P(RandomizedSweep, DivideLeftInvertsProduct)
     auto rest = LinearLayout::identity1D(1 << pick(rng), kReg,
                                          dims::kOffset) *
                 LinearLayout::identity1D(1 << pick(rng), kLane,
+                                         dims::kOffset) *
+                LinearLayout::identity1D(1 << pick(rng), kWarp,
                                          dims::kOffset);
     auto whole = tile * rest;
     auto q = whole.divideLeft(tile);

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * llfuzz — differential fuzzer for layout-conversion lowering.
+ *
+ * Generates random conversion cases (src layout, dst layout, element
+ * width, GPU spec), plans each with codegen::planConversion, executes
+ * the plan, and checks it against the brute-force oracle: every element
+ * must land in the register the destination layout demands, and every
+ * shared-memory plan's measured bank-conflict wavefronts must equal the
+ * analytic Lemma 9.4 numbers it was priced with.
+ *
+ * On failure the case is shrunk to a minimal reproducer, printed both as
+ * a ready-to-paste GoogleTest regression test and in the corpus text
+ * format, and the process exits nonzero.
+ *
+ * Usage:
+ *   llfuzz [--seed N] [--iters M] [--max-rank R] [--emit-corpus DIR]
+ *          [--replay FILE] [--inject-bug] [--verbose]
+ *
+ * --inject-bug runs the harness self-test: a swizzle-aliasing bug is
+ * deliberately injected into a shared-memory plan; the oracle must catch
+ * it and the shrinker must reduce it to a tensor of at most 32 elements.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "check/case_io.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
+#include "codegen/conversion.h"
+
+using namespace ll;
+
+namespace {
+
+struct Options
+{
+    uint32_t seed = 1;
+    int iters = 500;
+    int maxRank = 3;
+    std::string emitCorpusDir;
+    std::string replayFile;
+    bool injectBug = false;
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: llfuzz [--seed N] [--iters M] [--max-rank R]\n"
+           "              [--emit-corpus DIR] [--replay FILE]\n"
+           "              [--inject-bug] [--verbose]\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "llfuzz: " << name << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            const char *v = needValue("--seed");
+            if (!v)
+                return false;
+            opt.seed = static_cast<uint32_t>(std::stoul(v));
+        } else if (arg == "--iters") {
+            const char *v = needValue("--iters");
+            if (!v)
+                return false;
+            opt.iters = std::stoi(v);
+        } else if (arg == "--max-rank") {
+            const char *v = needValue("--max-rank");
+            if (!v)
+                return false;
+            opt.maxRank = std::stoi(v);
+        } else if (arg == "--emit-corpus") {
+            const char *v = needValue("--emit-corpus");
+            if (!v)
+                return false;
+            opt.emitCorpusDir = v;
+        } else if (arg == "--replay") {
+            const char *v = needValue("--replay");
+            if (!v)
+                return false;
+            opt.replayFile = v;
+        } else if (arg == "--inject-bug") {
+            opt.injectBug = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "llfuzz: unknown option " << arg << "\n";
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Print the failure, shrink it, print the reproducer; returns 1. */
+int
+reportFailure(const check::ConversionCase &c,
+              const check::OracleReport &report,
+              const check::CaseChecker &checker)
+{
+    std::cerr << "FAILURE: " << c.summary << "\n"
+              << "  " << report.toString() << "\n"
+              << "shrinking...\n";
+    auto shrunk = check::shrinkCase(c, checker);
+    std::cerr << "shrunk in " << shrunk.steps << " steps to "
+              << check::caseElements(shrunk.minimized)
+              << " elements\n\n";
+    if (!shrunk.exceptionMessage.empty())
+        std::cerr << "minimized case throws: " << shrunk.exceptionMessage
+                  << "\n\n";
+    else
+        std::cerr << "minimized report: " << shrunk.report.toString()
+                  << "\n\n";
+    std::cerr << "--- regression test "
+                 "------------------------------------\n"
+              << check::emitRegressionTest(shrunk.minimized, "Shrunk")
+              << "--- corpus case "
+                 "----------------------------------------\n";
+    check::writeCase(std::cerr, shrunk.minimized);
+    return 1;
+}
+
+int
+runInjectBugSelfTest(const Options &opt)
+{
+    // Find a case the planner lowers through shared memory, corrupt the
+    // swizzle, and demand the harness catches and minimizes it.
+    std::mt19937 rng(opt.seed);
+    check::GenOptions gen;
+    gen.maxRank = opt.maxRank;
+    auto checker = [](const check::ConversionCase &cc) {
+        return check::checkConversionCase(cc,
+                                          check::injectSwizzleAliasBug);
+    };
+    for (int i = 0; i < 1000; ++i) {
+        auto c = check::randomConversionCase(rng, gen);
+        auto spec = c.spec();
+        codegen::ConversionPlan plan;
+        try {
+            plan = codegen::planConversion(c.src, c.dst, c.elemBytes,
+                                           spec);
+        } catch (const std::exception &e) {
+            std::cerr << "planner threw on " << c.summary << ": "
+                      << e.what() << "\n";
+            return 1;
+        }
+        if (plan.kind != codegen::ConversionKind::SharedMemory)
+            continue;
+
+        if (!check::injectSwizzleAliasBug(plan)) {
+            std::cerr << "could not inject a bug into " << c.summary
+                      << "\n";
+            return 1;
+        }
+        auto report =
+            check::checkPlan(plan, c.src, c.dst, c.elemBytes, spec);
+        if (report.ok()) {
+            std::cerr << "MISSED: injected swizzle bug not caught on "
+                      << c.summary << "\n"
+                      << "  " << report.toString() << "\n";
+            return 1;
+        }
+        auto shrunk = check::shrinkCase(c, checker);
+        int64_t elems = check::caseElements(shrunk.minimized);
+        std::cout << "injected bug caught on " << c.summary << " ("
+                  << report.mismatches << " mismatches), shrunk in "
+                  << shrunk.steps << " steps to " << elems
+                  << " elements\n";
+        if (opt.verbose) {
+            std::cout << check::emitRegressionTest(shrunk.minimized,
+                                                   "Injected");
+        }
+        if (elems > 32) {
+            std::cerr << "shrinker left " << elems
+                      << " elements (want <= 32)\n";
+            return 1;
+        }
+        std::cout << "inject-bug self-test passed\n";
+        return 0;
+    }
+    std::cerr << "no shared-memory plan found to inject into\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    auto checker = [](const check::ConversionCase &cc) {
+        return check::checkConversionCase(cc);
+    };
+
+    if (opt.injectBug)
+        return runInjectBugSelfTest(opt);
+
+    if (!opt.replayFile.empty()) {
+        check::ConversionCase c;
+        try {
+            c = check::readCaseFile(opt.replayFile);
+        } catch (const std::exception &e) {
+            std::cerr << "llfuzz: " << e.what() << "\n";
+            return 2;
+        }
+        auto report = checker(c);
+        std::cout << (c.summary.empty() ? opt.replayFile : c.summary)
+                  << ": " << report.toString() << "\n";
+        if (!report.ok())
+            return reportFailure(c, report, checker);
+        return 0;
+    }
+
+    std::mt19937 rng(opt.seed);
+    check::GenOptions gen;
+    gen.maxRank = opt.maxRank;
+    std::map<std::string, int> kindCounts;
+    int64_t corpusWritten = 0;
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        auto c = check::randomConversionCase(rng, gen);
+        check::OracleReport report;
+        try {
+            report = checker(c);
+        } catch (const std::exception &e) {
+            std::cerr << "EXCEPTION on " << c.summary << ": " << e.what()
+                      << "\n";
+            return reportFailure(c, report, checker);
+        }
+        ++kindCounts[codegen::toString(report.kind)];
+        if (opt.verbose) {
+            std::cout << "[" << iter << "] " << c.summary << ": "
+                      << report.toString() << "\n";
+        }
+        if (!report.ok())
+            return reportFailure(c, report, checker);
+        if (!opt.emitCorpusDir.empty()) {
+            std::ostringstream name;
+            name << opt.emitCorpusDir << "/seed" << opt.seed << "_case"
+                 << iter << ".txt";
+            check::writeCaseFile(name.str(), c);
+            ++corpusWritten;
+        }
+    }
+
+    std::cout << "llfuzz: " << opt.iters
+              << " cases checked, 0 failures (seed " << opt.seed
+              << ")\n";
+    for (const auto &[kind, count] : kindCounts)
+        std::cout << "  " << kind << ": " << count << "\n";
+    if (corpusWritten)
+        std::cout << "  corpus files written: " << corpusWritten << "\n";
+    return 0;
+}
