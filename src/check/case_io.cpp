@@ -102,6 +102,8 @@ writeCase(std::ostream &os, const ConversionCase &c)
     os << "elemBytes " << c.elemBytes << "\n";
     if (!c.summary.empty())
         os << "summary " << c.summary << "\n";
+    for (const auto &site : c.failpoints)
+        os << "failpoint " << site << "\n";
     writeLayout(os, c.src, "src");
     writeLayout(os, c.dst, "dst");
 }
@@ -127,6 +129,12 @@ readCase(std::istream &is)
             std::getline(ls, c.summary);
             if (!c.summary.empty() && c.summary.front() == ' ')
                 c.summary.erase(c.summary.begin());
+        } else if (tok == "failpoint") {
+            std::string site;
+            ls >> site;
+            llUserCheck(!site.empty(),
+                        "corpus: 'failpoint' needs a site name");
+            c.failpoints.push_back(site);
         } else if (tok == "layout") {
             std::string which;
             ls >> which;

@@ -104,6 +104,9 @@ struct ConversionCase
     int elemBytes = 2;
     std::string specName = "gh200";
     std::string summary;
+    /** Failpoint sites active while this case is planned and checked
+     *  (exercises the fallback ladder); empty for ordinary cases. */
+    std::vector<std::string> failpoints;
 
     sim::GpuSpec spec() const;
 };

@@ -8,6 +8,7 @@
 #include "codegen/shared_exec.h"
 #include "layout/dims.h"
 #include "support/diagnostics.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace check {
@@ -78,6 +79,14 @@ OracleReport::toString() const
            << ")";
         if (wavefrontsDiverge())
             os << " WAVEFRONT-DIVERGENCE";
+    }
+    if (totalsAudited) {
+        os << " totals(planned " << plannedStoreTotal << "/"
+           << plannedLoadTotal << ", measured "
+           << measuredStoreWavefronts << "/" << measuredLoadWavefronts
+           << ")";
+        if (totalsDiverge())
+            os << " TOTALS-DIVERGENCE";
     }
     if (!detail.empty())
         os << "\n  first failure: " << detail;
@@ -227,22 +236,30 @@ checkPlan(const codegen::ConversionPlan &plan, const LinearLayout &srcIn,
         }
         break;
       }
-      case codegen::ConversionKind::SharedMemory: {
+      case codegen::ConversionKind::SharedMemory:
+      case codegen::ConversionKind::SharedPadded:
+      case codegen::ConversionKind::SharedScalar: {
         if (!plan.shared.has_value()) {
             report.structureOk = false;
-            report.detail = "shared-memory plan carries no swizzle";
+            report.detail = "shared-memory plan carries no layout";
             return report;
         }
         auto rt = codegen::runSharedRoundTrip(*plan.shared, src, dst,
                                               srcFile, elemBytes, spec);
         dstFile = rt.dstFile;
-        report.audited = true;
-        report.analyticStorePerAccess = plan.storeWavefrontsPerAccess;
-        report.analyticLoadPerAccess = plan.loadWavefrontsPerAccess;
+        if (plan.kind != codegen::ConversionKind::SharedPadded) {
+            // Lemma 9.4 applies only without padding.
+            report.audited = true;
+            report.analyticStorePerAccess = plan.storeWavefrontsPerAccess;
+            report.analyticLoadPerAccess = plan.loadWavefrontsPerAccess;
+        }
         report.storeInstructions = rt.storeStats.instructions;
         report.loadInstructions = rt.loadStats.instructions;
         report.measuredStoreWavefronts = rt.storeStats.wavefronts;
         report.measuredLoadWavefronts = rt.loadStats.wavefronts;
+        report.totalsAudited = true;
+        report.plannedStoreTotal = plan.storeWavefrontsTotal;
+        report.plannedLoadTotal = plan.loadWavefrontsTotal;
         break;
       }
     }
@@ -269,6 +286,10 @@ checkPlan(const codegen::ConversionPlan &plan, const LinearLayout &srcIn,
     }
     if (report.detail.empty() && report.wavefrontsDiverge())
         report.detail = "measured wavefronts disagree with Lemma 9.4";
+    if (report.detail.empty() && report.totalsDiverge())
+        report.detail =
+            "measured wavefront totals disagree with the plan's "
+            "enumerated totals";
     return report;
 }
 
@@ -276,6 +297,7 @@ OracleReport
 checkConversionCase(const ConversionCase &c, const PlanMutator &mutate)
 {
     auto spec = c.spec();
+    failpoint::ScopedSet guard(c.failpoints);
     auto plan = codegen::planConversion(c.src, c.dst, c.elemBytes, spec);
     if (mutate)
         mutate(plan);
@@ -285,10 +307,8 @@ checkConversionCase(const ConversionCase &c, const PlanMutator &mutate)
 bool
 injectSwizzleAliasBug(codegen::ConversionPlan &plan)
 {
-    if (plan.kind != codegen::ConversionKind::SharedMemory ||
-        !plan.shared.has_value()) {
+    if (!plan.shared.has_value())
         return false;
-    }
     const LinearLayout &t2o = plan.shared->tensorToOffset;
     LinearLayout::BasesT bases = t2o.getBases();
     for (const auto &dim : bases.keys()) {

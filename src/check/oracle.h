@@ -45,7 +45,9 @@ struct OracleReport
      *  (register permutes leaving the thread, etc.). */
     int64_t localityViolations = 0;
 
-    // Bank-conflict audit (SharedMemory plans only).
+    // Per-access bank-conflict audit (unpadded shared plans: the
+    // Lemma 9.4 analytic numbers must match what the simulator measures
+    // on every access).
     bool audited = false;
     int64_t analyticStorePerAccess = 0;
     int64_t analyticLoadPerAccess = 0;
@@ -53,6 +55,14 @@ struct OracleReport
     int64_t loadInstructions = 0;
     int64_t measuredStoreWavefronts = 0;
     int64_t measuredLoadWavefronts = 0;
+
+    // Whole-pass totals audit (every shared kind; the only valid audit
+    // for SharedPadded, where padding breaks Lemma 9.4's per-access
+    // uniformity): the enumerated totals the plan was priced with must
+    // equal the wavefronts the simulator measured.
+    bool totalsAudited = false;
+    int64_t plannedStoreTotal = 0;
+    int64_t plannedLoadTotal = 0;
 
     /** Human-readable description of the first failure, if any. */
     std::string detail;
@@ -68,10 +78,19 @@ struct OracleReport
     }
 
     bool
+    totalsDiverge() const
+    {
+        return totalsAudited &&
+               (measuredStoreWavefronts != plannedStoreTotal ||
+                measuredLoadWavefronts != plannedLoadTotal);
+    }
+
+    bool
     ok() const
     {
         return structureOk && mismatches == 0 &&
-               localityViolations == 0 && !wavefrontsDiverge();
+               localityViolations == 0 && !wavefrontsDiverge() &&
+               !totalsDiverge();
     }
 
     std::string toString() const;
@@ -91,7 +110,9 @@ OracleReport checkPlan(const codegen::ConversionPlan &plan,
 using PlanMutator = std::function<void(codegen::ConversionPlan &)>;
 
 /** Plan the case's conversion, optionally mutate the plan, then check.
- *  Exceptions from planning/execution propagate to the caller. */
+ *  The case's failpoint set is active for the duration of planning and
+ *  checking. Exceptions from planning/execution propagate to the
+ *  caller. */
 OracleReport checkConversionCase(const ConversionCase &c,
                                  const PlanMutator &mutate = nullptr);
 

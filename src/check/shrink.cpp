@@ -262,8 +262,10 @@ emitRegressionTest(const ConversionCase &c, const std::string &testName)
        << "    c.src = src;\n"
        << "    c.dst = dst;\n"
        << "    c.elemBytes = " << c.elemBytes << ";\n"
-       << "    c.specName = \"" << c.specName << "\";\n"
-       << "    auto report = check::checkConversionCase(c);\n"
+       << "    c.specName = \"" << c.specName << "\";\n";
+    for (const auto &site : c.failpoints)
+        os << "    c.failpoints.push_back(\"" << site << "\");\n";
+    os << "    auto report = check::checkConversionCase(c);\n"
        << "    EXPECT_TRUE(report.ok()) << report.toString();\n"
        << "}\n";
     return os.str();

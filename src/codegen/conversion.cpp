@@ -1,9 +1,13 @@
 #include "codegen/conversion.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "codegen/tiles.h"
 #include "triton/encodings.h"
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -23,6 +27,115 @@ matchesLdmatrixTile(const LinearLayout &cvt, int elemBytes)
     return permuted.has_value() && tileMatches(*permuted, tile);
 }
 
+/** "dimN" -> N; empty for any other spelling. */
+std::optional<int>
+parseDimIndex(const std::string &name)
+{
+    if (name.size() <= 3 || name.compare(0, 3, "dim") != 0)
+        return std::nullopt;
+    int idx = 0;
+    for (size_t i = 3; i < name.size(); ++i) {
+        char c = name[i];
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        idx = idx * 10 + (c - '0');
+        if (idx > 8)
+            return std::nullopt;
+    }
+    return idx;
+}
+
+/**
+ * Reject inputs no rung could make sense of. Planning is total over
+ * everything that passes here; nothing that passes may throw further
+ * down, only step the ladder.
+ */
+std::optional<Diagnostic>
+validateInputs(const LinearLayout &src, const LinearLayout &dst,
+               int elemBytes)
+{
+    auto invalid = [](const std::string &why) {
+        return makeDiag(DiagCode::InvalidInput, "plan", why);
+    };
+    if (elemBytes != 1 && elemBytes != 2 && elemBytes != 4 &&
+        elemBytes != 8)
+        return invalid("element size must be 1, 2, 4, or 8 bytes, got " +
+                       std::to_string(elemBytes));
+    for (const LinearLayout *l : {&src, &dst}) {
+        for (const auto &in : l->getInDimNames()) {
+            if (in != dims::kReg && in != dims::kLane && in != dims::kWarp)
+                return invalid(
+                    "layouts must be distributed over "
+                    "register/lane/warp; found in-dim \"" +
+                    in + "\"");
+        }
+    }
+    auto srcOuts = src.getOutDims();
+    auto dstOuts = dst.getOutDims();
+    auto bySize = [](const auto &x, const auto &y) {
+        return x.first < y.first;
+    };
+    std::sort(srcOuts.begin(), srcOuts.end(), bySize);
+    std::sort(dstOuts.begin(), dstOuts.end(), bySize);
+    if (srcOuts.size() != dstOuts.size())
+        return invalid("source and destination cover different output "
+                       "spaces: rank " +
+                       std::to_string(srcOuts.size()) + " vs " +
+                       std::to_string(dstOuts.size()));
+    for (size_t i = 0; i < srcOuts.size(); ++i) {
+        if (srcOuts[i].first != dstOuts[i].first)
+            return invalid("source and destination cover different "
+                           "output spaces: \"" +
+                           srcOuts[i].first + "\" vs \"" +
+                           dstOuts[i].first + "\"");
+        if (srcOuts[i].second != dstOuts[i].second)
+            return invalid("output dim \"" + srcOuts[i].first +
+                           "\" has size " +
+                           std::to_string(srcOuts[i].second) +
+                           " in the source but " +
+                           std::to_string(dstOuts[i].second) +
+                           " in the destination");
+    }
+    return std::nullopt;
+}
+
+/**
+ * Price a shared candidate and fill the shared fields of a trial plan.
+ * Throws only on internal invariant violations, which the caller turns
+ * into a PlannerInternalError note.
+ */
+ConversionPlan
+evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
+                        const LinearLayout &src, const LinearLayout &dst,
+                        int elemBytes, const sim::GpuSpec &spec,
+                        bool allowLdmatrix, bool allowStmatrix)
+{
+    ConversionPlan trial = base;
+    LinearLayout toOffset =
+        cand.tensorToOffset.transposeIns(src.getOutDimNames());
+    LinearLayout storeCvt = src.compose(toOffset);
+    LinearLayout loadCvt =
+        dst.transposeOuts(src.getOutDimNames()).compose(toOffset);
+    trial.usesStmatrix = allowStmatrix && spec.hasStmatrix &&
+                         !cand.padded() &&
+                         matchesLdmatrixTile(storeCvt, elemBytes);
+    trial.usesLdmatrix = allowLdmatrix && spec.hasLdmatrix &&
+                         !cand.padded() &&
+                         matchesLdmatrixTile(loadCvt, elemBytes);
+    if (!cand.padded()) {
+        trial.storeWavefrontsPerAccess =
+            analyticWavefronts(cand, src, elemBytes, spec);
+        trial.loadWavefrontsPerAccess =
+            analyticWavefronts(cand, dst, elemBytes, spec);
+    }
+    trial.storeWavefrontsTotal =
+        enumerateWavefronts(cand, src, elemBytes, spec);
+    trial.loadWavefrontsTotal =
+        enumerateWavefronts(cand, dst, elemBytes, spec);
+    trial.shared = std::move(cand);
+    return trial;
+}
+
 } // namespace
 
 std::string
@@ -37,86 +150,241 @@ toString(ConversionKind kind)
         return "warp-shuffle";
       case ConversionKind::SharedMemory:
         return "shared-memory";
+      case ConversionKind::SharedPadded:
+        return "shared-padded";
+      case ConversionKind::SharedScalar:
+        return "shared-scalar";
     }
     return "unknown";
+}
+
+std::optional<ConversionKind>
+parseConversionKind(const std::string &s)
+{
+    for (ConversionKind k :
+         {ConversionKind::NoOp, ConversionKind::RegisterPermute,
+          ConversionKind::WarpShuffle, ConversionKind::SharedMemory,
+          ConversionKind::SharedPadded, ConversionKind::SharedScalar}) {
+        if (toString(k) == s)
+            return k;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+plannerFailpointSites()
+{
+    // Ladder order. "plan.scalar" is deliberately absent: with the rest
+    // of these active it is the last rung standing, and disabling it
+    // too makes planning fail outright (an engine-survival test, not a
+    // fallback one).
+    return {
+        "plan.noop",           "plan.register-permute",
+        "plan.warp-shuffle",   "shuffle.pair-basis",
+        "plan.optimal-swizzle", "swizzle.word-basis",
+        "swizzle.segment-basis", "swizzle.bank-basis",
+        "plan.legacy-swizzle", "tiles.divide",
+        "plan.ldmatrix",       "plan.stmatrix",
+        "plan.padded",
+    };
+}
+
+Result<ConversionPlan>
+tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
+                  int elemBytes, const sim::GpuSpec &spec)
+{
+    if (auto bad = validateInputs(src, dst, elemBytes))
+        return *bad;
+
+    ConversionPlan plan;
+    PlanDiagnostics &notes = plan.diagnostics;
+    auto skipped = [&](const char *site) {
+        if (LL_FAILPOINT(site)) {
+            notes.note(DiagCode::FailpointInjected, site,
+                       "failpoint disabled this rung");
+            return true;
+        }
+        return false;
+    };
+
+    // Rung 1: no movement at all.
+    if (!skipped("plan.noop") && conversionIsNoOp(src, dst)) {
+        plan.kind = ConversionKind::NoOp;
+        return plan;
+    }
+
+    // Rung 2: data stays within each thread.
+    if (!skipped("plan.register-permute") &&
+        conversionIsRegisterPermute(src, dst)) {
+        plan.kind = ConversionKind::RegisterPermute;
+        return plan;
+    }
+
+    // Rung 3: data stays within each warp.
+    if (!skipped("plan.warp-shuffle")) {
+        auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
+        if (shuffle) {
+            plan.kind = ConversionKind::WarpShuffle;
+            plan.shuffle = std::move(*shuffle);
+            return plan;
+        }
+        // Not-applicable is the ordinary road to shared memory; only a
+        // degenerate exchange structure is worth reporting.
+        if (shuffle.diag().code != DiagCode::ShuffleNotApplicable)
+            notes.note(shuffle.diag());
+    }
+
+    // Rungs 4-6 go through shared memory. The matrix instructions are
+    // independently droppable riders on rung 4.
+    bool allowLdmatrix = true;
+    if (LL_FAILPOINT("plan.ldmatrix")) {
+        allowLdmatrix = false;
+        notes.note(DiagCode::FailpointInjected, "plan.ldmatrix",
+                   "failpoint dropped ldmatrix from the shared plan");
+    }
+    bool allowStmatrix = true;
+    if (LL_FAILPOINT("plan.stmatrix")) {
+        allowStmatrix = false;
+        notes.note(DiagCode::FailpointInjected, "plan.stmatrix",
+                   "failpoint dropped stmatrix from the shared plan");
+    }
+
+    // Rung 4: optimally swizzled shared memory. Candidates: the F2
+    // construction and, on 2D tensors, the legacy-parameter mma swizzle
+    // whose vec-granular phases keep 16-byte rows intact and so stay
+    // divisible by the ldmatrix/stmatrix tiles. Pick by modeled cost.
+    std::vector<SwizzledShared> candidates;
+    if (!skipped("plan.optimal-swizzle")) {
+        auto opt = tryComputeOptimalSwizzle(src, dst, elemBytes, spec);
+        if (opt)
+            candidates.push_back(std::move(*opt));
+        else
+            notes.note(opt.diag());
+    }
+    if (!skipped("plan.legacy-swizzle") &&
+        (spec.hasLdmatrix || spec.hasStmatrix) && elemBytes <= 4 &&
+        src.getNumOutDims() == 2) {
+        auto outs = src.getOutDims();
+        auto fast = parseDimIndex(outs[0].first);
+        auto slow = parseDimIndex(outs[1].first);
+        if (!fast || !slow || *fast > 1 || *slow > 1 || *fast == *slow) {
+            notes.note(DiagCode::LegacySwizzleUnavailable,
+                       "plan.legacy-swizzle",
+                       "output dims are not the dim0/dim1 pair the "
+                       "legacy mma swizzle expects");
+        } else {
+            triton::Shape shape = {0, 0};
+            shape[static_cast<size_t>(*fast)] = outs[0].second;
+            shape[static_cast<size_t>(*slow)] = outs[1].second;
+            std::vector<int32_t> order = {*fast, 1 - *fast};
+            auto params = triton::chooseMmaSwizzleParams(
+                elemBytes, shape[static_cast<size_t>(*fast)]);
+            auto legacy = triton::mmaSwizzledSharedLayout(
+                shape, params.vec, params.perPhase, params.maxPhase,
+                order);
+            auto wrapped =
+                tryWrapMemoryLayout(legacy, src, dst, elemBytes, spec);
+            if (wrapped)
+                candidates.push_back(std::move(*wrapped));
+            else
+                notes.note(wrapped.diag());
+        }
+    }
+
+    bool haveBest = false;
+    double bestCost = 0.0;
+    int bestMatrixSides = 0;
+    ConversionPlan best;
+    for (auto &cand : candidates) {
+        try {
+            ConversionPlan trial = evaluateSharedCandidate(
+                plan, std::move(cand), src, dst, elemBytes, spec,
+                allowLdmatrix, allowStmatrix);
+            trial.kind = ConversionKind::SharedMemory;
+            double cost = trial.estimateCycles(src, elemBytes, spec);
+            // Cost ties (common: several conflict-free layouts) break
+            // toward the candidate using more matrix-instruction sides
+            // — ldmatrix/stmatrix save issue slots the wavefront count
+            // cannot see.
+            int matrixSides = (trial.usesLdmatrix ? 1 : 0) +
+                              (trial.usesStmatrix ? 1 : 0);
+            constexpr double kTie = 1e-9;
+            if (!haveBest || cost < bestCost - kTie ||
+                (cost <= bestCost + kTie &&
+                 matrixSides > bestMatrixSides)) {
+                haveBest = true;
+                bestCost = cost;
+                bestMatrixSides = matrixSides;
+                best = std::move(trial);
+            }
+        } catch (const std::exception &e) {
+            notes.note(DiagCode::PlannerInternalError,
+                       "plan.optimal-swizzle",
+                       std::string("shared candidate rejected: ") +
+                           e.what());
+        }
+    }
+    if (haveBest)
+        return best;
+
+    // Rung 5: unswizzled shared memory with bank-offset padding.
+    {
+        auto padded = planPaddedShared(src, dst, elemBytes, spec);
+        if (padded) {
+            try {
+                // No ldmatrix/stmatrix on the fallback rungs: matrix
+                // instructions belong to the optimally swizzled plan,
+                // and pricing them here would let a degraded rung
+                // undercut the rung above it.
+                ConversionPlan trial = evaluateSharedCandidate(
+                    plan, std::move(*padded), src, dst, elemBytes, spec,
+                    /*allowLdmatrix=*/false, /*allowStmatrix=*/false);
+                trial.kind = ConversionKind::SharedPadded;
+                return trial;
+            } catch (const std::exception &e) {
+                notes.note(DiagCode::PaddedUnavailable, "plan.padded",
+                           std::string("padded candidate rejected: ") +
+                               e.what());
+            }
+        } else {
+            notes.note(padded.diag());
+        }
+    }
+
+    // Rung 6: element-wise scalar round trip — the terminal rung,
+    // correct for any surjective pair.
+    {
+        auto scalar = planScalarShared(src, dst, elemBytes, spec);
+        if (scalar) {
+            try {
+                ConversionPlan trial = evaluateSharedCandidate(
+                    plan, std::move(*scalar), src, dst, elemBytes, spec,
+                    /*allowLdmatrix=*/false, /*allowStmatrix=*/false);
+                trial.kind = ConversionKind::SharedScalar;
+                return trial;
+            } catch (const std::exception &e) {
+                notes.note(DiagCode::ScalarUnavailable, "plan.scalar",
+                           std::string("scalar candidate rejected: ") +
+                               e.what());
+            }
+        } else {
+            notes.note(scalar.diag());
+        }
+    }
+
+    return makeDiag(DiagCode::PlannerInternalError, "plan",
+                    "every rung of the fallback ladder failed: " +
+                        notes.toString());
 }
 
 ConversionPlan
 planConversion(const LinearLayout &src, const LinearLayout &dst,
                int elemBytes, const sim::GpuSpec &spec)
 {
-    ConversionPlan plan;
-    if (conversionIsNoOp(src, dst)) {
-        plan.kind = ConversionKind::NoOp;
-        return plan;
-    }
-    if (conversionIsRegisterPermute(src, dst)) {
-        plan.kind = ConversionKind::RegisterPermute;
-        return plan;
-    }
-    try {
-        auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
-        if (shuffle.has_value()) {
-            plan.kind = ConversionKind::WarpShuffle;
-            plan.shuffle = std::move(shuffle);
-            return plan;
-        }
-    } catch (const LogicError &) {
-        // Degenerate structure the shuffle planner cannot prove safe;
-        // fall through to the always-correct shared-memory path.
-    }
-
-    plan.kind = ConversionKind::SharedMemory;
-
-    // Candidate shared layouts: the optimal swizzle (maximal plain
-    // vectorization) and, on 2D tensors, the legacy-parameter mma
-    // swizzle whose vec-granular phases keep 16-byte rows intact and so
-    // stay divisible by the ldmatrix/stmatrix tiles. Pick by modeled
-    // cost.
-    std::vector<SwizzledShared> candidates;
-    candidates.push_back(
-        computeOptimalSwizzle(src, dst, elemBytes, spec));
-    if ((spec.hasLdmatrix || spec.hasStmatrix) && elemBytes <= 4 &&
-        src.getNumOutDims() == 2) {
-        auto outs = src.getOutDims();
-        triton::Shape shape = {0, 0};
-        for (const auto &[name, size] : outs)
-            shape[static_cast<size_t>(std::stoi(name.substr(3)))] = size;
-        // Fastest dim = first out dim of src.
-        int fast = std::stoi(outs[0].first.substr(3));
-        std::vector<int32_t> order = {fast, 1 - fast};
-        auto params = triton::chooseMmaSwizzleParams(
-            elemBytes, shape[static_cast<size_t>(fast)]);
-        auto legacy = triton::mmaSwizzledSharedLayout(
-            shape, params.vec, params.perPhase, params.maxPhase, order);
-        candidates.push_back(
-            wrapMemoryLayout(legacy, src, dst, elemBytes, spec));
-    }
-
-    double bestCost = -1.0;
-    for (auto &cand : candidates) {
-        LinearLayout toOffset =
-            cand.tensorToOffset.transposeIns(src.getOutDimNames());
-        LinearLayout storeCvt = src.compose(toOffset);
-        LinearLayout loadCvt =
-            dst.transposeOuts(src.getOutDimNames()).compose(toOffset);
-        ConversionPlan trial = plan;
-        trial.usesStmatrix = spec.hasStmatrix &&
-                             matchesLdmatrixTile(storeCvt, elemBytes);
-        trial.usesLdmatrix = spec.hasLdmatrix &&
-                             matchesLdmatrixTile(loadCvt, elemBytes);
-        trial.storeWavefrontsPerAccess =
-            analyticWavefronts(cand, src, elemBytes, spec);
-        trial.loadWavefrontsPerAccess =
-            analyticWavefronts(cand, dst, elemBytes, spec);
-        trial.shared = cand;
-        double cost = trial.estimateCycles(src, elemBytes, spec);
-        if (bestCost < 0 || cost < bestCost) {
-            bestCost = cost;
-            plan = std::move(trial);
-        }
-    }
-    return plan;
+    auto plan = tryPlanConversion(src, dst, elemBytes, spec);
+    llUserCheck(plan.ok(), "planConversion failed: " +
+                               plan.diag().toString());
+    return std::move(*plan);
 }
 
 double
@@ -125,6 +393,8 @@ ConversionPlan::estimateCycles(const LinearLayout &src, int elemBytes,
 {
     const int numRegsSrc =
         src.hasInDim(dims::kReg) ? src.getInDimSize(dims::kReg) : 1;
+    const int numWarpsSrc =
+        src.hasInDim(dims::kWarp) ? src.getInDimSize(dims::kWarp) : 1;
     switch (kind) {
       case ConversionKind::NoOp:
         return 0.0;
@@ -137,30 +407,51 @@ ConversionPlan::estimateCycles(const LinearLayout &src, int elemBytes,
                    shuffle->countShuffleInstructions(elemBytes)) *
                spec.shuffleCycles;
       case ConversionKind::SharedMemory: {
-        const int vec = shared->vecElems();
-        const int numRegsDst = numRegsSrc; // same element count per thread
-        double storeInstr = std::max(1, numRegsSrc / vec);
-        double loadInstr = std::max(1, numRegsDst / vec);
-        double storeCycles = storeInstr *
-                             static_cast<double>(storeWavefrontsPerAccess) *
-                             spec.sharedWavefrontCycles;
-        double loadCycles;
-        if (usesLdmatrix) {
-            // Each ldmatrix moves a 16-byte row per lane, conflict-free.
-            double tiles = std::max(
-                1.0, numRegsDst * elemBytes / 16.0);
-            loadCycles = tiles * spec.ldmatrixCyclesPerTile;
-        } else {
-            loadCycles = loadInstr *
-                         static_cast<double>(loadWavefrontsPerAccess) *
-                         spec.sharedWavefrontCycles;
-        }
-        if (usesStmatrix) {
-            double tiles = std::max(
-                1.0, numRegsSrc * elemBytes / 16.0);
-            storeCycles = tiles * spec.ldmatrixCyclesPerTile;
-        }
+        // The optimal rung carries audited accounting, so it is priced
+        // by its measured whole-pass wavefront totals, serialized per
+        // warp. ldmatrix/stmatrix replace a side's plain accesses only
+        // when the tile pricing is actually cheaper — the instructions
+        // can never make a plan look worse than not using them.
+        double storeCycles = static_cast<double>(storeWavefrontsTotal) /
+                             numWarpsSrc * spec.sharedWavefrontCycles;
+        double loadCycles = static_cast<double>(loadWavefrontsTotal) /
+                            numWarpsSrc * spec.sharedWavefrontCycles;
+        double tiles = std::max(1.0, numRegsSrc * elemBytes / 16.0);
+        if (usesStmatrix)
+            storeCycles = std::min(storeCycles,
+                                   tiles * spec.ldmatrixCyclesPerTile);
+        if (usesLdmatrix)
+            loadCycles = std::min(loadCycles,
+                                  tiles * spec.ldmatrixCyclesPerTile);
         return storeCycles + loadCycles + spec.sharedRoundTripCycles;
+      }
+      case ConversionKind::SharedPadded:
+      case ConversionKind::SharedScalar: {
+        // Fallback rungs are priced by a worst-case serialization bound
+        // rather than measured luck: pessimism grows as guarantees
+        // shrink down the ladder. The bound is taken at vector width 1
+        // — the worst-case wavefronts needed to move the warp's bytes
+        // are non-increasing in the width, so any measured total of a
+        // higher rung (bounded by its own width's worst case) stays
+        // below it, and estimateCycles is monotone in the rung order.
+        // An issue-cost adder keyed to the plan's actual instruction
+        // count then separates padded (vectorized) from scalar.
+        const int lanes =
+            src.hasInDim(dims::kLane) ? src.getInDimSize(dims::kLane) : 1;
+        const double groups = std::max(
+            1.0, std::ceil(static_cast<double>(lanes) * elemBytes /
+                           spec.wavefrontBytes));
+        // A group moves wavefrontBytes; fully serialized it retires one
+        // bank word per wavefront.
+        const double worstPerGroup =
+            static_cast<double>(spec.wavefrontBytes) /
+            spec.bankWidthBytes;
+        const double worstWavefronts =
+            2.0 * numRegsSrc * groups * worstPerGroup;
+        const double issuedInstr =
+            2.0 * std::max(1, numRegsSrc / shared->vecElems());
+        return worstWavefronts * spec.sharedWavefrontCycles +
+               issuedInstr + spec.sharedRoundTripCycles;
       }
     }
     return 0.0;

@@ -11,10 +11,22 @@
  *   3. warp shuffles    — data never leaves its warp (and no broadcast);
  *   4. shared memory    — general case, through an optimally swizzled
  *                         scratch layout, with ldmatrix/stmatrix when
- *                         the hardware has them and the tiles divide.
+ *                         the hardware has them and the tiles divide;
+ *   5. padded shared    — unswizzled row-major scratch with bank-offset
+ *                         padding, when no swizzle basis can be built;
+ *   6. scalar shared    — element-wise round trip, correct for any pair
+ *                         of surjective layouts; the terminal rung.
+ *
+ * Rungs 4-6 form a fallback ladder: planning is a total function over
+ * valid inputs. A rung that cannot be built (degenerate basis, failed
+ * invariant, injected failpoint) contributes a Diagnostic to the plan's
+ * notes and the planner steps down; only invalid *inputs* are rejected,
+ * and only via the structured tryPlanConversion interface or the
+ * UserError-throwing planConversion wrapper.
  *
  * The returned plan carries enough detail for the simulator to execute
- * it on data and for the cost model to price it.
+ * it on data and for the cost model to price it, plus the diagnostics
+ * explaining every rung that was skipped on the way down.
  */
 
 #ifndef LL_CODEGEN_CONVERSION_H
@@ -22,11 +34,13 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "codegen/shuffle.h"
 #include "codegen/swizzle.h"
 #include "layout/linear_layout.h"
 #include "sim/gpu_spec.h"
+#include "support/result.h"
 
 namespace ll {
 namespace codegen {
@@ -37,9 +51,14 @@ enum class ConversionKind
     RegisterPermute,
     WarpShuffle,
     SharedMemory,
+    SharedPadded,
+    SharedScalar,
 };
 
 std::string toString(ConversionKind kind);
+
+/** Inverse of toString; empty for unrecognized spellings. */
+std::optional<ConversionKind> parseConversionKind(const std::string &s);
 
 struct ConversionPlan
 {
@@ -48,13 +67,27 @@ struct ConversionPlan
     /** Present when kind == WarpShuffle. */
     std::optional<WarpShufflePlan> shuffle;
 
-    /** Present when kind == SharedMemory. */
+    /** Present for the shared-memory kinds (SharedMemory, SharedPadded,
+     *  SharedScalar). */
     std::optional<SwizzledShared> shared;
     bool usesLdmatrix = false;
     bool usesStmatrix = false;
-    /** Analytic per-warp-access wavefronts (Lemma 9.4). */
+    /** Analytic per-warp-access wavefronts (Lemma 9.4); valid for the
+     *  unpadded shared kinds only. */
     int64_t storeWavefrontsPerAccess = 0;
     int64_t loadWavefrontsPerAccess = 0;
+    /** Enumerated whole-pass wavefront totals (warps x register groups);
+     *  filled for every shared kind, and the only valid accounting for
+     *  SharedPadded, where Lemma 9.4's uniformity assumption fails. */
+    int64_t storeWavefrontsTotal = 0;
+    int64_t loadWavefrontsTotal = 0;
+
+    /**
+     * Why the planner ended up on this rung: one note per rung that was
+     * tried and skipped above the selected one. Empty when the first
+     * applicable rung was taken without incident.
+     */
+    PlanDiagnostics diagnostics;
 
     /**
      * Modeled cost in cycles for converting one CTA worth of data.
@@ -66,11 +99,34 @@ struct ConversionPlan
 
 /**
  * Plan the conversion of a tensor from layout `src` to layout `dst`
- * (both distributed layouts over the same logical tensor).
+ * (both distributed layouts over the same logical tensor), stepping
+ * down the fallback ladder as rungs fail. Total over valid inputs: a
+ * Diagnostic comes back only for invalid inputs
+ * (DiagCode::InvalidInput — mismatched output spaces, non-distributed
+ * in-dims, unsupported element size, non-surjective layouts) or if
+ * every rung including the terminal scalar one was disabled (only
+ * reachable by failpoint injection).
+ */
+Result<ConversionPlan> tryPlanConversion(const LinearLayout &src,
+                                         const LinearLayout &dst,
+                                         int elemBytes,
+                                         const sim::GpuSpec &spec);
+
+/**
+ * Throwing convenience wrapper over tryPlanConversion: raises UserError
+ * carrying the Diagnostic text when planning fails.
  */
 ConversionPlan planConversion(const LinearLayout &src,
                               const LinearLayout &dst, int elemBytes,
                               const sim::GpuSpec &spec);
+
+/**
+ * Every failpoint site the planner consults, in ladder order, minus the
+ * terminal "plan.scalar" (activating that together with the rest leaves
+ * no rung standing, which is an engine-survival scenario rather than a
+ * fallback one). Used by llfuzz --failpoint-rate and the fallback tests.
+ */
+std::vector<std::string> plannerFailpointSites();
 
 } // namespace codegen
 } // namespace ll

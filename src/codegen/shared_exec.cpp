@@ -15,25 +15,6 @@ using dims::kLane;
 using dims::kReg;
 using dims::kWarp;
 
-/** Distinct vectorized register groups of a layout: one representative
- *  register index per group of registers mapping to the same
- *  vec-aligned offset block (for lane 0, warp 0 — grouping is
- *  lane-invariant by linearity). */
-std::vector<int32_t>
-registerGroupReps(const SwizzledShared &swz, const LinearLayout &dist)
-{
-    std::set<uint64_t> seen;
-    std::vector<int32_t> reps;
-    const int numRegs = dist.getInDimSize(kReg);
-    for (int32_t reg = 0; reg < numRegs; ++reg) {
-        uint64_t x = dist.applyFlat(static_cast<uint64_t>(reg));
-        uint64_t key = swz.tensorToOffset.applyFlat(x) >> swz.vecBits;
-        if (seen.insert(key).second)
-            reps.push_back(reg);
-    }
-    return reps;
-}
-
 } // namespace
 
 SharedConversionResult
@@ -43,7 +24,7 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
 {
     SharedConversionResult result;
     const int64_t numElems = src.getTotalOutDimSize();
-    sim::SharedMemory smem(spec, elemBytes, numElems);
+    sim::SharedMemory smem(spec, elemBytes, swz.storageElems(numElems));
     const int warpSize = src.getInDimSize(kLane);
     const int numWarps = src.hasInDim(kWarp) ? src.getInDimSize(kWarp) : 1;
     const int vec = swz.vecElems();
@@ -56,10 +37,10 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                 warpAccessOffsets(swz, src, rep, warp, warpSize);
             std::vector<std::vector<uint64_t>> values(offsets.size());
             for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                int64_t linear = swz.unpadOffset(offsets[lane]);
                 for (int k = 0; k < vec; ++k) {
                     values[lane].push_back(swz.memLayout.applyFlat(
-                        static_cast<uint64_t>(offsets[lane]) +
-                        static_cast<uint64_t>(k)));
+                        static_cast<uint64_t>(linear + k)));
                 }
             }
             smem.warpStore(offsets, vec, values, result.storeStats);
@@ -79,10 +60,10 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                 warpAccessOffsets(swz, dstAligned, rep, warp, warpSize);
             auto loaded = smem.warpLoad(offsets, vec, result.loadStats);
             for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                int64_t linear = swz.unpadOffset(offsets[lane]);
                 for (int k = 0; k < vec; ++k) {
                     uint64_t expect = swz.memLayout.applyFlat(
-                        static_cast<uint64_t>(offsets[lane]) +
-                        static_cast<uint64_t>(k));
+                        static_cast<uint64_t>(linear + k));
                     if (loaded[lane][static_cast<size_t>(k)] != expect)
                         result.correct = false;
                 }
@@ -107,12 +88,15 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
 
     SharedRoundTrip result;
     const int64_t numElems = src.getTotalOutDimSize();
-    sim::SharedMemory smem(spec, elemBytes, numElems);
+    sim::SharedMemory smem(spec, elemBytes, swz.storageElems(numElems));
     const int vec = swz.vecElems();
     const uint64_t vecMask = static_cast<uint64_t>(vec) - 1;
 
     // Per thread, the offset every register writes to; grouped into
     // vec-aligned windows so each window becomes one vectorized access.
+    // Window keys are *storage* bases (padOffset applied) to match
+    // warpAccessOffsets; the slot within a window is pad-invariant
+    // because padding is a multiple of the vectorization.
     auto offsetOf = [&](const LinearLayout &dist, uint64_t in) {
         return swz.tensorToOffset.applyFlat(dist.applyFlat(in));
     };
@@ -138,7 +122,7 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                      << (srcRegLog + srcLaneLog));
                 uint64_t off = offsetOf(src, in);
                 held[static_cast<size_t>(lane)]
-                    [static_cast<int64_t>(off & ~vecMask)]
+                    [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
                         .emplace_back(static_cast<int>(off & vecMask),
                                       srcFile[static_cast<size_t>(in)]);
             }
@@ -185,7 +169,7 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                      << (dstRegLog + dstLaneLog));
                 uint64_t off = offsetOf(dstAligned, in);
                 wanted[static_cast<size_t>(lane)]
-                    [static_cast<int64_t>(off & ~vecMask)]
+                    [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
                         .emplace_back(static_cast<int>(off & vecMask),
                                       in);
             }

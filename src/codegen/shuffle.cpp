@@ -6,6 +6,7 @@
 #include "f2/subspace.h"
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -188,10 +189,18 @@ WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
     return dst;
 }
 
-std::optional<WarpShufflePlan>
+Result<WarpShufflePlan>
 planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
                 int elemBytes, const sim::GpuSpec &spec)
 {
+    auto notApplicable = [](std::string why) {
+        return makeDiag(DiagCode::ShuffleNotApplicable,
+                        "plan.warp-shuffle", std::move(why));
+    };
+    auto degenerate = [](std::string why) {
+        return makeDiag(DiagCode::ShuffleDegenerate, "plan.warp-shuffle",
+                        std::move(why));
+    };
     // Structural preconditions: same output space, injective (no
     // broadcast — the shared path handles that), identical warp bases,
     // and a warp-preserving conversion.
@@ -200,24 +209,26 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
     std::sort(aOuts.begin(), aOuts.end());
     std::sort(bOuts.begin(), bOuts.end());
     if (aOuts != bOuts)
-        return std::nullopt;
+        return notApplicable("different output spaces");
     LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
     if (!a.isSurjective() || !b.isSurjective() || !a.isInjective() ||
         !b.isInjective()) {
-        return std::nullopt;
+        return notApplicable("layouts broadcast or are not surjective");
     }
     if (!a.hasInDim(kReg) || !a.hasInDim(kLane) || !b.hasInDim(kReg) ||
         !b.hasInDim(kLane)) {
-        return std::nullopt;
+        return notApplicable("register/lane dims missing");
     }
     if (a.getInDimSize(kLane) != b.getInDimSize(kLane) ||
         a.getInDimSize(kLane) != spec.warpSize) {
-        return std::nullopt;
+        return notApplicable("lane counts disagree with the warp size");
     }
     if (flatColumns(a, kWarp) != flatColumns(b, kWarp))
-        return std::nullopt;
+        return notApplicable("warp bases differ");
     if (!conversionIsIntraWarp(a, b))
-        return std::nullopt;
+        return notApplicable("conversion crosses warps");
+    if (LL_FAILPOINT("shuffle.pair-basis"))
+        return degenerate("failpoint shuffle.pair-basis forced failure");
 
     const int d = a.getTotalOutDimSizeLog2();
     const int regLogA = a.getInDimSizeLog2(kReg);
@@ -241,9 +252,8 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
     std::vector<uint64_t> iBasis = setIntersection(aThr, bThr);
     std::vector<uint64_t> e = setDifference(aThr, iBasis);
     std::vector<uint64_t> f = setDifference(bThr, iBasis);
-    llAssert(e.size() == f.size(),
-             "injective layouts with equal lane counts must have "
-             "|E| == |F|");
+    if (e.size() != f.size())
+        return degenerate("|E| != |F| despite equal lane counts");
     std::sort(e.begin(), e.end());
     std::sort(f.begin(), f.end());
     std::vector<uint64_t> g;
@@ -253,13 +263,17 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
     // R: extend V u I u G to a basis of the warp-0 element space using
     // A's own columns.
     f2::EchelonBasis ech;
-    for (uint64_t x : vec)
-        llAssert(ech.insert(x), "V is not independent");
-    for (uint64_t x : iBasis)
-        llAssert(ech.insert(x), "V u I is not independent");
+    for (uint64_t x : vec) {
+        if (!ech.insert(x))
+            return degenerate("V is not independent");
+    }
+    for (uint64_t x : iBasis) {
+        if (!ech.insert(x))
+            return degenerate("V u I is not independent");
+    }
     for (uint64_t x : g) {
         if (!ech.insert(x))
-            return std::nullopt; // degenerate exchange structure
+            return degenerate("exchange directions G are dependent");
     }
     std::vector<uint64_t> r;
     std::vector<uint64_t> w0Cols = aReg;
@@ -271,8 +285,8 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
     const int i = static_cast<int>(iBasis.size());
     const int gsz = static_cast<int>(g.size());
     const int rsz = static_cast<int>(r.size());
-    llAssert(v + i + gsz + rsz == dw,
-             "basis of the warp element space has wrong dimension");
+    if (v + i + gsz + rsz != dw)
+        return degenerate("warp element space basis has wrong dimension");
 
     // Full-space coordinate system [V | I | G | R | Wrp].
     f2::F2Matrix basisM(d, d);
@@ -288,9 +302,11 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
             basisM.setCol(col++, x);
         for (uint64_t x : flatColumns(a, kWarp))
             basisM.setCol(col++, x);
-        llAssert(col == d, "basis column count mismatch");
+        if (col != d)
+            return degenerate("basis column count mismatch");
     }
-    llAssert(basisM.isInvertible(), "conversion basis is singular");
+    if (!basisM.isInvertible())
+        return degenerate("conversion basis is singular");
     f2::F2Matrix coordOf = basisM.inverse();
 
     LinearLayout binv = b.invert();
@@ -318,8 +334,8 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
         int32_t srcLane = static_cast<int32_t>(in >> regLogA);
         uint64_t x = a.applyFlat(in);
         uint64_t coords = coordOf.apply(x);
-        llAssert((coords >> dw) == 0,
-                 "warp-0 element has nonzero warp coordinate");
+        if ((coords >> dw) != 0)
+            return degenerate("warp-0 element has nonzero warp coord");
         int32_t vSlot = static_cast<int32_t>(
             coords & ((uint64_t(1) << v) - 1));
         int32_t round = static_cast<int32_t>(
@@ -330,31 +346,34 @@ planWarpShuffle(const LinearLayout &a, const LinearLayout &bIn,
             dstIn & ((uint64_t(1) << regLogB) - 1));
         int32_t dstLane = static_cast<int32_t>(
             (dstIn >> regLogB) & ((uint64_t(1) << laneLog) - 1));
-        llAssert((dstIn >> (regLogB + laneLog)) == 0,
-                 "warp-0 element maps outside warp 0 in B");
+        if ((dstIn >> (regLogB + laneLog)) != 0)
+            return degenerate("warp-0 element maps outside warp 0 in B");
 
         ShuffleXfer &xfer = plan.xfers[static_cast<size_t>(round)]
                                       [static_cast<size_t>(dstLane)];
         if (xfer.srcLane == -1) {
             xfer.srcLane = srcLane;
-        } else {
+        } else if (xfer.srcLane != srcLane) {
             // The theorem guarantees one source lane per slice per
             // destination; a violation means the plan is infeasible.
-            llAssert(xfer.srcLane == srcLane,
-                     "slice contains two source lanes for one "
-                     "destination lane");
+            return degenerate("slice contains two source lanes for one "
+                              "destination lane");
         }
         auto &slot = xfer.regPairs[static_cast<size_t>(vSlot)];
-        llAssert(slot.first == -1, "duplicate V-slot in shuffle payload");
+        if (slot.first != -1)
+            return degenerate("duplicate V-slot in shuffle payload");
         slot = {srcReg, dstReg};
     }
 
     // Every payload slot must be filled.
     for (const auto &round : plan.xfers) {
         for (const auto &x : round) {
-            llAssert(x.srcLane >= 0, "lane received no data in a round");
-            for (const auto &[ra, rb] : x.regPairs)
-                llAssert(ra >= 0 && rb >= 0, "unfilled payload slot");
+            if (x.srcLane < 0)
+                return degenerate("lane received no data in a round");
+            for (const auto &[ra, rb] : x.regPairs) {
+                if (ra < 0 || rb < 0)
+                    return degenerate("unfilled payload slot");
+            }
         }
     }
     return plan;

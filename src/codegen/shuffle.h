@@ -28,12 +28,12 @@
 #define LL_CODEGEN_SHUFFLE_H
 
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
 #include "layout/linear_layout.h"
 #include "sim/gpu_spec.h"
+#include "support/result.h"
 
 namespace ll {
 namespace codegen {
@@ -74,15 +74,19 @@ struct WarpShufflePlan
 };
 
 /**
- * Build a shuffle plan converting layout A to layout B, or nullopt when
- * the conversion crosses warps (or layouts broadcast, which the shared
- * memory path handles instead). Both layouts must be injective
- * distributed layouts over the same output space with equal warp bases.
+ * Build a shuffle plan converting layout A to layout B. Returns a
+ * Diagnostic instead when the rung does not apply
+ * (DiagCode::ShuffleNotApplicable — the conversion crosses warps, or
+ * layouts broadcast, which the shared-memory path handles instead) or
+ * when the exchange structure cannot be proven safe
+ * (DiagCode::ShuffleDegenerate). Never throws for valid distributed
+ * layouts; the failpoint site "shuffle.pair-basis" forces the
+ * degenerate outcome for testing.
  */
-std::optional<WarpShufflePlan> planWarpShuffle(const LinearLayout &a,
-                                               const LinearLayout &b,
-                                               int elemBytes,
-                                               const sim::GpuSpec &spec);
+Result<WarpShufflePlan> planWarpShuffle(const LinearLayout &a,
+                                        const LinearLayout &b,
+                                        int elemBytes,
+                                        const sim::GpuSpec &spec);
 
 /**
  * True when B^-1 . A is the identity modulo broadcast bits: the

@@ -3,10 +3,12 @@
 #include "sim/memory_sim.h"
 
 #include <algorithm>
+#include <set>
 
 #include "f2/subspace.h"
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -57,15 +59,16 @@ wavefrontGroups(const LinearLayout &dist, int vecBytes,
     return std::max<int64_t>(1, lanes * vecBytes / spec.wavefrontBytes);
 }
 
-} // namespace
-
-SwizzledShared
-computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
-                      int elemBytes, const sim::GpuSpec &spec,
-                      int maxVecBytesOverride)
+/** The optimal-swizzle construction; callers wrap the try/catch. */
+Result<SwizzledShared>
+optimalSwizzleImpl(const LinearLayout &a, const LinearLayout &bIn,
+                   int elemBytes, const sim::GpuSpec &spec,
+                   int maxVecBytesOverride)
 {
-    llUserCheck(a.isSurjective() && bIn.isSurjective(),
-                "swizzle inputs must be surjective layouts");
+    if (!a.isSurjective() || !bIn.isSurjective()) {
+        return makeDiag(DiagCode::InvalidInput, "plan.optimal-swizzle",
+                        "swizzle inputs must be surjective layouts");
+    }
     LinearLayout b = bIn.transposeOuts(a.getOutDimNames());
     const int d = a.getTotalOutDimSizeLog2();
 
@@ -174,9 +177,12 @@ computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
             units.push_back(uint64_t(1) << iu);
         addWord(units);
     }
-    llAssert(static_cast<int>(word.size()) ==
-                 std::min(wordBits, d - v),
-             "failed to fill the word-internal bits");
+    if (LL_FAILPOINT("swizzle.word-basis") ||
+        static_cast<int>(word.size()) != std::min(wordBits, d - v)) {
+        return makeDiag(DiagCode::SwizzleBasisIncomplete,
+                        "swizzle.word-basis",
+                        "failed to fill the word-internal bits");
+    }
 
     std::vector<uint64_t> idx;
     auto tryAdd = [&](const std::vector<uint64_t> &cands) {
@@ -198,8 +204,12 @@ computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
             units.push_back(uint64_t(1) << i);
         tryAdd(units);
     }
-    llAssert(static_cast<int>(idx.size()) == sBits,
-             "failed to complete the segment basis");
+    if (LL_FAILPOINT("swizzle.segment-basis") ||
+        static_cast<int>(idx.size()) != sBits) {
+        return makeDiag(DiagCode::SwizzleBasisIncomplete,
+                        "swizzle.segment-basis",
+                        "failed to complete the segment basis");
+    }
 
     // --- Step 4: bank columns complete the basis -----------------------
     // Any completion minimizes conflicts equally (Lemma 9.4 only depends
@@ -229,9 +239,13 @@ computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
             units.push_back(uint64_t(1) << iu);
         addBank(units);
     }
-    llAssert(static_cast<int>(bank.size()) == bankCount,
-             "bank completion produced " << bank.size() << " columns, "
-                                         << "expected " << bankCount);
+    if (LL_FAILPOINT("swizzle.bank-basis") ||
+        static_cast<int>(bank.size()) != bankCount) {
+        return makeDiag(DiagCode::SwizzleBasisIncomplete,
+                        "swizzle.bank-basis",
+                        "bank completion did not reach " +
+                            std::to_string(bankCount) + " columns");
+    }
 
     // --- Assemble M: offset bit order [Vec | Word | Bank | Idx] --------
     f2::F2Matrix m(d, d);
@@ -256,12 +270,45 @@ computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
     return out;
 }
 
-SwizzledShared
-wrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
-                 const LinearLayout &b, int elemBytes,
-                 const sim::GpuSpec &spec)
+} // namespace
+
+Result<SwizzledShared>
+tryComputeOptimalSwizzle(const LinearLayout &a, const LinearLayout &b,
+                         int elemBytes, const sim::GpuSpec &spec,
+                         int maxVecBytesOverride)
 {
-    llUserCheck(mem.isInvertible(), "memory layout must be invertible");
+    try {
+        return optimalSwizzleImpl(a, b, elemBytes, spec,
+                                  maxVecBytesOverride);
+    } catch (const std::exception &e) {
+        return makeDiag(DiagCode::PlannerInternalError,
+                        "plan.optimal-swizzle", e.what());
+    }
+}
+
+SwizzledShared
+computeOptimalSwizzle(const LinearLayout &a, const LinearLayout &bIn,
+                      int elemBytes, const sim::GpuSpec &spec,
+                      int maxVecBytesOverride)
+{
+    auto r = tryComputeOptimalSwizzle(a, bIn, elemBytes, spec,
+                                      maxVecBytesOverride);
+    llUserCheck(r.ok(),
+                "computeOptimalSwizzle: " << r.diag().toString());
+    return std::move(*r);
+}
+
+namespace {
+
+Result<SwizzledShared>
+wrapMemoryLayoutImpl(const LinearLayout &mem, const LinearLayout &a,
+                     const LinearLayout &b, int elemBytes,
+                     const sim::GpuSpec &spec)
+{
+    if (!mem.isInvertible()) {
+        return makeDiag(DiagCode::InvalidInput, "plan.wrap-memory",
+                        "memory layout must be invertible");
+    }
     LinearLayout aligned = mem.transposeOuts(a.getOutDimNames());
     const int d = aligned.getTotalOutDimSizeLog2();
 
@@ -296,10 +343,198 @@ wrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
     return out;
 }
 
+/** Canonical (register, lane, warp) in-dim order with size-1 fills, so
+ *  access enumeration agrees with the oracle's execution order. */
+LinearLayout
+canonicalDist(const LinearLayout &layout)
+{
+    LinearLayout out = layout;
+    for (const auto &dim : {dims::kReg, dims::kLane, dims::kWarp}) {
+        if (!out.hasInDim(dim))
+            out = out * LinearLayout::identity1D(
+                            1, dim, out.getOutDimNames().front());
+    }
+    return out.transposeIns({dims::kReg, dims::kLane, dims::kWarp});
+}
+
+/** The unswizzled linear memory layout over `a`'s output space: offset
+ *  bit i is out-dim bit i in `a`'s dim order (first dim fastest). */
+LinearLayout
+linearMemoryLayout(const LinearLayout &a)
+{
+    LinearLayout mem = LinearLayout::empty();
+    for (const auto &[dim, size] : a.getOutDims())
+        mem = mem * LinearLayout::identity1D(size, dims::kOffset, dim);
+    return mem;
+}
+
+} // namespace
+
+Result<SwizzledShared>
+tryWrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
+                    const LinearLayout &b, int elemBytes,
+                    const sim::GpuSpec &spec)
+{
+    try {
+        return wrapMemoryLayoutImpl(mem, a, b, elemBytes, spec);
+    } catch (const std::exception &e) {
+        return makeDiag(DiagCode::PlannerInternalError,
+                        "plan.wrap-memory", e.what());
+    }
+}
+
+SwizzledShared
+wrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
+                 const LinearLayout &b, int elemBytes,
+                 const sim::GpuSpec &spec)
+{
+    auto r = tryWrapMemoryLayout(mem, a, b, elemBytes, spec);
+    llUserCheck(r.ok(), "wrapMemoryLayout: " << r.diag().toString());
+    return std::move(*r);
+}
+
+Result<SwizzledShared>
+planPaddedShared(const LinearLayout &a, const LinearLayout &b,
+                 int elemBytes, const sim::GpuSpec &spec)
+{
+    if (LL_FAILPOINT("plan.padded")) {
+        return makeDiag(DiagCode::FailpointInjected, "plan.padded",
+                        "failpoint plan.padded forced this rung off");
+    }
+    try {
+        auto wrapped = tryWrapMemoryLayout(linearMemoryLayout(a), a, b,
+                                           elemBytes, spec);
+        if (!wrapped.ok()) {
+            return makeDiag(DiagCode::PaddedUnavailable, "plan.padded",
+                            wrapped.diag().toString());
+        }
+        SwizzledShared swz = std::move(*wrapped);
+        // Pad by one bank word per 128-byte row (both multiples of the
+        // vectorization, so vec windows never straddle a pad).
+        const int vec = swz.vecElems();
+        const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
+        const int64_t rowElems = totalBankBytes / elemBytes;
+        const int64_t numElems = a.getTotalOutDimSize();
+        if (vec * elemBytes < totalBankBytes && numElems > rowElems) {
+            SwizzledShared padded = swz;
+            padded.padInterval = rowElems;
+            padded.padElems = std::max<int64_t>(
+                vec, spec.bankWidthBytes / elemBytes);
+            // Keep the pad only when it helps (the unswizzled layout is
+            // the baseline, and padding must not regress it) and the
+            // inflated allocation still fits the CTA budget.
+            if (sim::SharedMemory::fits(spec, elemBytes,
+                                        padded.storageElems(numElems))) {
+                int64_t flatWf =
+                    enumerateWavefronts(swz, a, elemBytes, spec) +
+                    enumerateWavefronts(swz, b, elemBytes, spec);
+                int64_t padWf =
+                    enumerateWavefronts(padded, a, elemBytes, spec) +
+                    enumerateWavefronts(padded, b, elemBytes, spec);
+                if (padWf < flatWf)
+                    swz = std::move(padded);
+            }
+        }
+        return swz;
+    } catch (const std::exception &e) {
+        return makeDiag(DiagCode::PaddedUnavailable, "plan.padded",
+                        e.what());
+    }
+}
+
+Result<SwizzledShared>
+planScalarShared(const LinearLayout &a, const LinearLayout &b,
+                 int elemBytes, const sim::GpuSpec &spec)
+{
+    (void)b;
+    if (LL_FAILPOINT("plan.scalar")) {
+        return makeDiag(DiagCode::FailpointInjected, "plan.scalar",
+                        "failpoint plan.scalar forced this rung off");
+    }
+    try {
+        if (!a.isSurjective()) {
+            return makeDiag(DiagCode::InvalidInput, "plan.scalar",
+                            "scalar rung needs a surjective layout");
+        }
+        SwizzledShared out;
+        out.memLayout = linearMemoryLayout(a);
+        out.tensorToOffset = out.memLayout.invert();
+        out.vecBits = 0;
+        const int d = out.memLayout.getTotalInDimSizeLog2();
+        const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
+        int bBits = elemBytes >= totalBankBytes
+                        ? 0
+                        : log2Exact(static_cast<uint64_t>(
+                              totalBankBytes / elemBytes));
+        out.bankBits = std::min(bBits, d);
+        out.idxBits = d - out.bankBits;
+        return out;
+    } catch (const std::exception &e) {
+        return makeDiag(DiagCode::ScalarUnavailable, "plan.scalar",
+                        e.what());
+    }
+}
+
+std::vector<int32_t>
+registerGroupReps(const SwizzledShared &swz, const LinearLayout &dist)
+{
+    std::set<uint64_t> seen;
+    std::vector<int32_t> reps;
+    const int numRegs = dist.hasInDim(dims::kReg)
+                            ? dist.getInDimSize(dims::kReg)
+                            : 1;
+    for (int32_t reg = 0; reg < numRegs; ++reg) {
+        uint64_t x = dist.applyFlat(static_cast<uint64_t>(reg));
+        uint64_t key = swz.tensorToOffset.applyFlat(x) >> swz.vecBits;
+        if (seen.insert(key).second)
+            reps.push_back(reg);
+    }
+    return reps;
+}
+
+int64_t
+countWarpAccesses(const SwizzledShared &swz, const LinearLayout &distIn)
+{
+    LinearLayout dist = canonicalDist(
+        distIn.transposeOuts(swz.memLayout.getOutDimNames()));
+    const int64_t warps = dist.getInDimSize(dims::kWarp);
+    return warps *
+           static_cast<int64_t>(registerGroupReps(swz, dist).size());
+}
+
+int64_t
+enumerateWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
+                    int elemBytes, const sim::GpuSpec &spec)
+{
+    LinearLayout dist = canonicalDist(
+        distIn.transposeOuts(swz.memLayout.getOutDimNames()));
+    const int warpSize = dist.getInDimSize(dims::kLane);
+    const int numWarps = dist.getInDimSize(dims::kWarp);
+    const int accessBytes = swz.vecElems() * elemBytes;
+    auto reps = registerGroupReps(swz, dist);
+    int64_t total = 0;
+    for (int warp = 0; warp < numWarps; ++warp) {
+        for (int32_t rep : reps) {
+            auto offsets =
+                warpAccessOffsets(swz, dist, rep, warp, warpSize);
+            std::vector<int64_t> byteAddrs;
+            byteAddrs.reserve(offsets.size());
+            for (int64_t o : offsets)
+                byteAddrs.push_back(o * elemBytes);
+            total += sim::SharedMemory::countWavefronts(spec, byteAddrs,
+                                                        accessBytes);
+        }
+    }
+    return total;
+}
+
 int64_t
 analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
                    int elemBytes, const sim::GpuSpec &spec)
 {
+    llAssert(!swz.padded(),
+             "Lemma 9.4 does not apply to padded layouts; use "
+             "enumerateWavefronts");
     // Align to the swizzle's output order so flattened columns agree.
     LinearLayout dist =
         distIn.transposeOuts(swz.memLayout.getOutDimNames());
@@ -367,7 +602,8 @@ warpAccessOffsets(const SwizzledShared &swz, const LinearLayout &distIn,
                       (static_cast<uint64_t>(warp) << (regLog + laneLog));
         uint64_t x = dist.applyFlat(in);
         uint64_t off = swz.tensorToOffset.applyFlat(x);
-        offsets.push_back(static_cast<int64_t>(off & ~vecMask));
+        offsets.push_back(
+            swz.padOffset(static_cast<int64_t>(off & ~vecMask)));
     }
     return offsets;
 }

@@ -27,6 +27,7 @@
 
 #include "layout/linear_layout.h"
 #include "sim/gpu_spec.h"
+#include "support/result.h"
 
 namespace ll {
 namespace codegen {
@@ -43,7 +44,44 @@ struct SwizzledShared
     int bankBits = 0; ///< log2 of elements covering all banks
     int idxBits = 0;  ///< log2 of the segment count
 
+    /**
+     * Bank-offset padding (the fallback ladder's padded rung): after
+     * every padInterval linear elements, padElems storage cells are
+     * skipped, rotating successive rows across banks the way classic
+     * `pad = bankWidth` shared allocations do. Both values are either 0
+     * (unpadded) or multiples of vecElems(), so padding commutes with
+     * vec-aligned access windows; it is an affine tweak applied after
+     * the F2-linear tensorToOffset map.
+     */
+    int64_t padInterval = 0;
+    int64_t padElems = 0;
+
     int vecElems() const { return 1 << vecBits; }
+    bool padded() const { return padInterval > 0 && padElems > 0; }
+
+    /** Linear offset -> storage offset (identity when unpadded). */
+    int64_t
+    padOffset(int64_t off) const
+    {
+        return padded() ? off + (off / padInterval) * padElems : off;
+    }
+
+    /** Storage offset back to the linear offset (inverse of padOffset
+     *  on its image). */
+    int64_t
+    unpadOffset(int64_t stored) const
+    {
+        return padded()
+                   ? stored - (stored / (padInterval + padElems)) * padElems
+                   : stored;
+    }
+
+    /** Storage cells needed for `numElems` linear elements. */
+    int64_t
+    storageElems(int64_t numElems) const
+    {
+        return padded() ? padOffset(numElems - 1) + 1 : numElems;
+    }
 };
 
 /**
@@ -57,6 +95,17 @@ SwizzledShared computeOptimalSwizzle(const LinearLayout &a,
                                      int maxVecBytesOverride = 0);
 
 /**
+ * Non-throwing computeOptimalSwizzle: basis-construction failures (and
+ * the failpoint sites "swizzle.word-basis", "swizzle.segment-basis",
+ * "swizzle.bank-basis") come back as Diagnostics instead of LogicError,
+ * so the planner can step down its fallback ladder.
+ */
+Result<SwizzledShared>
+tryComputeOptimalSwizzle(const LinearLayout &a, const LinearLayout &b,
+                         int elemBytes, const sim::GpuSpec &spec,
+                         int maxVecBytesOverride = 0);
+
+/**
  * Wrap an arbitrary invertible memory layout (e.g. the legacy
  * vec/perPhase/maxPhase mma swizzle) as a SwizzledShared usable by the
  * executors: the vectorization is the largest run of low offset columns
@@ -68,22 +117,76 @@ SwizzledShared wrapMemoryLayout(const LinearLayout &mem,
                                 const LinearLayout &b, int elemBytes,
                                 const sim::GpuSpec &spec);
 
+/** Non-throwing wrapMemoryLayout. */
+Result<SwizzledShared>
+tryWrapMemoryLayout(const LinearLayout &mem, const LinearLayout &a,
+                    const LinearLayout &b, int elemBytes,
+                    const sim::GpuSpec &spec);
+
+/**
+ * The padded rung of the fallback ladder: an *unswizzled* row-major
+ * shared layout over A's output space with bank-offset padding chosen
+ * to break the row-stride conflicts swizzling would normally remove.
+ * The padding is kept only when it measurably lowers the enumerated
+ * wavefront totals for both sides. Failpoint site: "plan.padded".
+ */
+Result<SwizzledShared>
+planPaddedShared(const LinearLayout &a, const LinearLayout &b,
+                 int elemBytes, const sim::GpuSpec &spec);
+
+/**
+ * The terminal rung: the same row-major layout accessed element by
+ * element (vectorization 1), with no swizzle and no padding. Correct
+ * for any pair of surjective layouts. Failpoint site: "plan.scalar".
+ */
+Result<SwizzledShared>
+planScalarShared(const LinearLayout &a, const LinearLayout &b,
+                 int elemBytes, const sim::GpuSpec &spec);
+
 /**
  * Lemma 9.4: the analytic number of wavefronts per warp access when a
  * distributed layout reads/writes through `swz`. Returns n * c where
  * c = |span(S_Vec u S_Idx) ^ span(L_Thr)| and n is the number of banks
- * each vectorized element covers (>= 1).
+ * each vectorized element covers (>= 1). Requires an unpadded swizzle:
+ * padding breaks the per-access uniformity the lemma rests on — padded
+ * layouts are audited by totals via enumerateWavefronts instead.
  */
 int64_t analyticWavefronts(const SwizzledShared &swz,
                            const LinearLayout &dist, int elemBytes,
                            const sim::GpuSpec &spec);
 
 /**
+ * Distinct vectorized register groups of `dist` through `swz`: one
+ * representative register index per vec-aligned offset window (computed
+ * at lane 0, warp 0 — the grouping is lane/warp-invariant by
+ * linearity). Each (warp, rep) pair is one simulated warp access.
+ */
+std::vector<int32_t> registerGroupReps(const SwizzledShared &swz,
+                                       const LinearLayout &dist);
+
+/** Warp accesses one full store or load pass issues: warps x reps. */
+int64_t countWarpAccesses(const SwizzledShared &swz,
+                          const LinearLayout &dist);
+
+/**
+ * Total wavefronts of a full store or load pass, measured by pricing
+ * every warp access on sim::SharedMemory's bank model. Unlike
+ * analyticWavefronts this makes no uniformity assumption, so it is
+ * valid for padded layouts (where different rows hit different bank
+ * phases); the padded rung is priced and audited with these totals.
+ */
+int64_t enumerateWavefronts(const SwizzledShared &swz,
+                            const LinearLayout &dist, int elemBytes,
+                            const sim::GpuSpec &spec);
+
+/**
  * Per-lane element offsets for one vectorized warp access: lane l of
  * `dist` (at the given warp and register-group rep) accesses
  * swz.vecElems() consecutive elements starting at the returned offset.
  * `repBase` enumerates the register groups: it is the register index
- * with the vectorized bits cleared.
+ * with the vectorized bits cleared. Offsets are *storage* offsets: when
+ * the swizzle is padded, padOffset has already been applied (padding is
+ * a multiple of vecElems, so windows stay vec-aligned).
  */
 std::vector<int64_t> warpAccessOffsets(const SwizzledShared &swz,
                                        const LinearLayout &dist,

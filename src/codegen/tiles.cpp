@@ -4,6 +4,7 @@
 
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -27,6 +28,8 @@ ldmatrixTile(int elemBytes)
 bool
 tileMatches(const LinearLayout &cvt, const LinearLayout &tile)
 {
+    if (LL_FAILPOINT("tiles.divide"))
+        return false;
     return cvt.divideLeft(tile).has_value();
 }
 

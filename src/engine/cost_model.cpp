@@ -106,9 +106,21 @@ estimateKernelCost(const ir::Function &f, const sim::GpuSpec &spec,
                 break;
             ++cost.converts;
             int elemBytes = byteWidth(src.type.dtype);
-            auto plan = codegen::planConversion(*src.layout, *dst.layout,
-                                                elemBytes, spec);
-            switch (plan.kind) {
+            auto plan = codegen::tryPlanConversion(
+                *src.layout, *dst.layout, elemBytes, spec);
+            if (!plan) {
+                // An unplannable conversion gets priced like a scalar
+                // shared round trip rather than sinking the whole
+                // estimate; the engine has already tagged the op.
+                ++cost.sharedConversions;
+                ++cost.localLoads;
+                ++cost.localStores;
+                cost.cycles += spec.sharedRoundTripCycles +
+                               2.0 * regCount(*src.layout) *
+                                   spec.sharedWavefrontCycles;
+                break;
+            }
+            switch (plan->kind) {
               case codegen::ConversionKind::NoOp:
                 ++cost.noopConversions;
                 break;
@@ -119,13 +131,15 @@ estimateKernelCost(const ir::Function &f, const sim::GpuSpec &spec,
                 ++cost.shuffleConversions;
                 break;
               case codegen::ConversionKind::SharedMemory:
+              case codegen::ConversionKind::SharedPadded:
+              case codegen::ConversionKind::SharedScalar:
                 ++cost.sharedConversions;
                 ++cost.localLoads;
                 ++cost.localStores;
                 break;
             }
             cost.cycles +=
-                plan.estimateCycles(*src.layout, elemBytes, spec);
+                plan->estimateCycles(*src.layout, elemBytes, spec);
             break;
           }
           case ir::OpKind::Dot: {

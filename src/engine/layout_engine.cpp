@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "codegen/conversion.h"
 #include "codegen/shuffle.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
+#include "support/failpoint.h"
 #include "triton/encodings.h"
 
 namespace ll {
@@ -31,6 +33,13 @@ isNoOpConversion(const LinearLayout &have, const LinearLayout &want)
 LinearLayout
 LayoutEngine::anchorForMemory(const ir::TensorType &type) const
 {
+    llUserCheck(!type.shape.empty(),
+                "memory anchor needs a ranked tensor type");
+    for (auto d : type.shape)
+        llUserCheck(d >= 1, "tensor dims must be positive, got " +
+                                std::to_string(d));
+    llUserCheck(bitWidth(type.dtype) >= 1,
+                "element type has no width");
     int vec = std::max(1, 128 / bitWidth(type.dtype));
     auto enc = triton::BlockedEncoding::makeDefault(
         type.shape, options_.numWarps, options_.spec.warpSize, vec);
@@ -41,6 +50,12 @@ LinearLayout
 LayoutEngine::dotResultLayout(const ir::TensorType &accType,
                               int operandBits) const
 {
+    llUserCheck(accType.shape.size() == 2,
+                "dot accumulator must be rank-2, got rank " +
+                    std::to_string(accType.shape.size()));
+    llUserCheck(operandBits >= 1 && operandBits <= 64,
+                "dot operand width must be 1..64 bits, got " +
+                    std::to_string(operandBits));
     const auto &shape = accType.shape;
     if (options_.spec.warpSize == 64) {
         triton::MfmaEncoding enc;
@@ -71,6 +86,22 @@ LayoutEngine::dotOperandLayout(const ir::TensorType &operandType,
                                const ir::TensorType &accType, int opIdx,
                                int operandBits) const
 {
+    llUserCheck(opIdx == 0 || opIdx == 1,
+                "dot operand index must be 0 or 1, got " +
+                    std::to_string(opIdx));
+    llUserCheck(operandType.shape.size() == 2 &&
+                    accType.shape.size() == 2,
+                "dot operands and accumulator must be rank-2");
+    llUserCheck(operandType.shape[opIdx == 0 ? 0 : 1] ==
+                    accType.shape[opIdx == 0 ? 0 : 1],
+                "dot operand shape does not match the accumulator: "
+                "operand " +
+                    std::to_string(opIdx) + " is " +
+                    std::to_string(operandType.shape[0]) + "x" +
+                    std::to_string(operandType.shape[1]) +
+                    " against a " + std::to_string(accType.shape[0]) +
+                    "x" + std::to_string(accType.shape[1]) +
+                    " accumulator");
     triton::DotOperandEncoding enc;
     if (options_.spec.warpSize == 64) {
         // Model the mfma operand path with the v2 tile over 32 lanes
@@ -130,6 +161,31 @@ LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
             llAssert(l.has_value(), "missing operand layout");
             return *l;
         };
+        // Shape-transfer functions are not allowed to sink the engine:
+        // if one throws (or the "engine.transfer" failpoint fires), the
+        // result value falls back to its anchor layout and downstream
+        // conversions absorb the difference.
+        auto setTransfer = [&](int value, auto &&fn) {
+            if (!LL_FAILPOINT("engine.transfer")) {
+                try {
+                    f.value(value).layout = fn();
+                    return;
+                } catch (const std::exception &e) {
+                    stats.planDiagnostics.push_back(
+                        "op " + std::to_string(i) +
+                        ": shape transfer failed, using the anchor "
+                        "layout: " +
+                        e.what());
+                }
+            } else {
+                stats.planDiagnostics.push_back(
+                    "op " + std::to_string(i) +
+                    ": failpoint engine.transfer forced the anchor "
+                    "layout");
+            }
+            ++stats.transferFallbacks;
+            f.value(value).layout = anchorForMemory(f.value(value).type);
+        };
         switch (o.kind) {
           case OpKind::Load:
           case OpKind::Constant:
@@ -164,35 +220,40 @@ LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
             break;
           }
           case OpKind::Reduce:
-            f.value(o.results[0]).layout =
-                reduceTransfer(layoutOf(0), o.axis);
+            setTransfer(o.results[0],
+                        [&] { return reduceTransfer(layoutOf(0), o.axis); });
             break;
           case OpKind::Trans:
-            f.value(o.results[0]).layout =
-                transTransfer(layoutOf(0), o.order);
+            setTransfer(o.results[0],
+                        [&] { return transTransfer(layoutOf(0), o.order); });
             break;
           case OpKind::Reshape:
-            f.value(o.results[0]).layout = reshapeTransfer(
-                layoutOf(0), f.value(o.results[0]).type.shape);
+            setTransfer(o.results[0], [&] {
+                return reshapeTransfer(layoutOf(0),
+                                       f.value(o.results[0]).type.shape);
+            });
             break;
           case OpKind::ExpandDims:
-            f.value(o.results[0]).layout =
-                expandDimsTransfer(layoutOf(0), o.axis);
+            setTransfer(o.results[0], [&] {
+                return expandDimsTransfer(layoutOf(0), o.axis);
+            });
             break;
           case OpKind::Broadcast:
-            f.value(o.results[0]).layout = broadcastTransfer(
-                layoutOf(0), f.value(o.results[0]).type.shape);
+            setTransfer(o.results[0], [&] {
+                return broadcastTransfer(
+                    layoutOf(0), f.value(o.results[0]).type.shape);
+            });
             break;
           case OpKind::Join: {
             LinearLayout want = layoutOf(0);
             ensureOperand(f, i, 1, want, stats);
-            f.value(o.results[0]).layout = joinTransfer(want);
+            setTransfer(o.results[0], [&] { return joinTransfer(want); });
             break;
           }
           case OpKind::Split: {
-            LinearLayout split = splitTransfer(layoutOf(0));
-            f.value(o.results[0]).layout = split;
-            f.value(o.results[1]).layout = split;
+            setTransfer(o.results[0],
+                        [&] { return splitTransfer(layoutOf(0)); });
+            f.value(o.results[1]).layout = f.value(o.results[0]).layout;
             break;
           }
           case OpKind::Gather: {
@@ -307,12 +368,63 @@ LayoutEngine::cleanup(ir::Function &f, EngineStats &stats)
     }
 }
 
+void
+LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
+{
+    for (int i = 0; i < f.numOps(); ++i) {
+        ir::Op &o = f.op(i);
+        if (o.erased || o.kind != OpKind::ConvertLayout)
+            continue;
+        const auto &have = f.value(o.operands[0]).layout;
+        const auto &want = f.value(o.results[0]).layout;
+        if (!have || !want) {
+            o.tag = "convert:unplanned";
+            ++stats.planFailures;
+            stats.planDiagnostics.push_back(
+                "op " + std::to_string(i) +
+                ": conversion endpoint is missing a layout");
+            continue;
+        }
+        const auto &type = f.value(o.results[0]).type;
+        int elemBytes = std::max(1, bitWidth(type.dtype) / 8);
+        auto plan = [&]() -> Result<codegen::ConversionPlan> {
+            try {
+                return codegen::tryPlanConversion(
+                    *have, want->transposeOuts(have->getOutDimNames()),
+                    elemBytes, options_.spec);
+            } catch (const std::exception &e) {
+                return makeDiag(DiagCode::PlannerInternalError,
+                                "engine.plan",
+                                std::string("planner threw: ") +
+                                    e.what());
+            }
+        }();
+        if (plan.ok()) {
+            o.tag = "convert:" + codegen::toString(plan->kind);
+            ++stats.convertsPlanned;
+            if (!plan->diagnostics.empty()) {
+                ++stats.planFallbacks;
+                stats.planDiagnostics.push_back(
+                    "op " + std::to_string(i) + " (" + o.tag +
+                    "): " + plan->diagnostics.toString());
+            }
+        } else {
+            o.tag = "convert:unplanned";
+            ++stats.planFailures;
+            stats.planDiagnostics.push_back(
+                "op " + std::to_string(i) + ": " +
+                plan.diag().toString());
+        }
+    }
+}
+
 EngineStats
 LayoutEngine::run(ir::Function &f)
 {
     EngineStats stats;
     assignForward(f, stats);
     cleanup(f, stats);
+    planConversions(f, stats);
     f.verify();
     return stats;
 }

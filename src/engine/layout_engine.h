@@ -16,6 +16,9 @@
 #ifndef LL_ENGINE_LAYOUT_ENGINE_H
 #define LL_ENGINE_LAYOUT_ENGINE_H
 
+#include <string>
+#include <vector>
+
 #include "ir/function.h"
 #include "sim/gpu_spec.h"
 
@@ -32,6 +35,22 @@ struct EngineStats
 {
     int convertsInserted = 0;
     int convertsEliminated = 0;
+    /** ConvertLayout ops surviving cleanup that received a lowering
+     *  plan (tagged "convert:<kind>"). */
+    int convertsPlanned = 0;
+    /** Plans that stepped down the fallback ladder — the planner
+     *  succeeded but left diagnostics explaining skipped rungs. */
+    int planFallbacks = 0;
+    /** Conversions whose planning failed outright; the op is tagged
+     *  "convert:unplanned" and the function still verifies — the
+     *  engine downgrades, it does not abort. */
+    int planFailures = 0;
+    /** Shape-transfer functions that threw (or were failpointed via
+     *  "engine.transfer") and fell back to the anchor layout. */
+    int transferFallbacks = 0;
+    /** Human-readable notes from every fallback or failure, in op
+     *  order. */
+    std::vector<std::string> planDiagnostics;
 };
 
 class LayoutEngine
@@ -61,6 +80,12 @@ class LayoutEngine
   private:
     void assignForward(ir::Function &f, EngineStats &stats);
     void cleanup(ir::Function &f, EngineStats &stats);
+
+    /** Lower every surviving ConvertLayout to a ConversionPlan and tag
+     *  it "convert:<kind>". A plan that cannot be built downgrades the
+     *  op to "convert:unplanned" and is recorded in the stats; this
+     *  pass never throws. */
+    void planConversions(ir::Function &f, EngineStats &stats);
 
     /** Convert operand `slot` of op `opIdx` to `want` unless it is
      *  already there (modulo broadcast). */

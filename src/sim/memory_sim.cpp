@@ -15,10 +15,16 @@ SharedMemory::SharedMemory(const GpuSpec &spec, int elemBytes,
 {
     llUserCheck(elemBytes >= 1 && elemBytes <= 8,
                 "element width must be 1..8 bytes");
-    llUserCheck(numElems * elemBytes <= spec.sharedMemPerCta,
+    llUserCheck(fits(spec, elemBytes, numElems),
                 "shared allocation of " << numElems * elemBytes
                     << " bytes exceeds the " << spec.sharedMemPerCta
                     << "-byte CTA limit of " << spec.name);
+}
+
+bool
+SharedMemory::fits(const GpuSpec &spec, int elemBytes, int64_t numElems)
+{
+    return numElems * elemBytes <= spec.sharedMemPerCta;
 }
 
 int64_t

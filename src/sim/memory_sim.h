@@ -93,6 +93,15 @@ class SharedMemory
                                      const std::vector<int64_t> &byteAddrs,
                                      int accessBytes);
 
+    /**
+     * Would an allocation of numElems elements fit one CTA's shared
+     * budget? The constructor enforces this; planners (notably the
+     * padded fallback rung, whose padding inflates the allocation) ask
+     * first instead of finding out by UserError.
+     */
+    static bool fits(const GpuSpec &spec, int elemBytes,
+                     int64_t numElems);
+
   private:
     void account(const std::vector<int64_t> &elemOffsets, int vecElems,
                  AccessStats &stats) const;

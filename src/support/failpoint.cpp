@@ -1,0 +1,119 @@
+#include "support/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace ll {
+namespace failpoint {
+
+namespace {
+
+struct SiteState
+{
+    bool active = false;
+    int64_t remaining = -1; ///< shots left; < 0 means unlimited
+    int64_t hits = 0;
+};
+
+std::map<std::string, SiteState> &
+registry()
+{
+    static std::map<std::string, SiteState> sites;
+    return sites;
+}
+
+/** Parse LL_FAILPOINTS once, on first registry use. clearAll() does not
+ *  re-trigger parsing — tests own the registry after touching it. */
+void
+ensureEnvParsed()
+{
+    static bool parsed = false;
+    if (parsed)
+        return;
+    parsed = true;
+    const char *env = std::getenv("LL_FAILPOINTS");
+    if (!env)
+        return;
+    std::istringstream is(env);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty())
+            continue;
+        int64_t limit = -1;
+        auto colon = tok.find(':');
+        if (colon != std::string::npos) {
+            limit = std::strtoll(tok.c_str() + colon + 1, nullptr, 10);
+            tok.resize(colon);
+        }
+        if (!tok.empty())
+            activate(tok, limit);
+    }
+}
+
+} // namespace
+
+bool
+shouldFail(const std::string &site)
+{
+    ensureEnvParsed();
+    SiteState &s = registry()[site];
+    ++s.hits;
+    if (!s.active)
+        return false;
+    if (s.remaining == 0)
+        return false;
+    if (s.remaining > 0)
+        --s.remaining;
+    return true;
+}
+
+void
+activate(const std::string &site, int64_t limit)
+{
+    ensureEnvParsed();
+    SiteState &s = registry()[site];
+    s.active = true;
+    s.remaining = limit;
+}
+
+void
+deactivate(const std::string &site)
+{
+    ensureEnvParsed();
+    SiteState &s = registry()[site];
+    s.active = false;
+    s.remaining = -1;
+}
+
+void
+clearAll()
+{
+    ensureEnvParsed();
+    registry().clear();
+}
+
+int64_t
+hitCount(const std::string &site)
+{
+    ensureEnvParsed();
+    auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string>
+activeSites()
+{
+    ensureEnvParsed();
+    std::vector<std::string> out;
+    for (const auto &[name, state] : registry()) {
+        if (state.active && state.remaining != 0)
+            out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace failpoint
+} // namespace ll

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic fault-injection registry (failpoints).
+ *
+ * Every planner stage guards itself with LL_FAILPOINT("site"): normally
+ * the guard just increments the site's hit counter, but when a test (or
+ * the LL_FAILPOINTS environment variable) activates the site, the guard
+ * fires and the stage reports failure through its normal Result path.
+ * This is how the fallback ladder's lower rungs are reached on demand:
+ * forcing "plan.optimal-swizzle" off, say, proves the padded rung is
+ * live and oracle-clean, without hand-crafting pathological layouts.
+ *
+ * Activation is process-global and single-threaded (like the rest of
+ * this library). Sites are plain strings so adding one requires no
+ * central registration; `hitCount` lets tests assert a guard is actually
+ * wired into the code path they think it is.
+ *
+ * Environment syntax: LL_FAILPOINTS="site-a,site-b:3" activates site-a
+ * until deactivated and site-b for its next 3 guard evaluations.
+ */
+
+#ifndef LL_SUPPORT_FAILPOINT_H
+#define LL_SUPPORT_FAILPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ll {
+namespace failpoint {
+
+/**
+ * The guard: increments the site's deterministic hit counter and
+ * returns true when the site is active (consuming one shot from a
+ * limited activation). Call through LL_FAILPOINT for grep-ability.
+ */
+bool shouldFail(const std::string &site);
+
+/** Activate a site; limit < 0 means "until deactivated", otherwise the
+ *  site fires for its next `limit` evaluations only. */
+void activate(const std::string &site, int64_t limit = -1);
+
+void deactivate(const std::string &site);
+
+/** Deactivate everything, including LL_FAILPOINTS activations, and
+ *  forget all hit counters. */
+void clearAll();
+
+/** Times `shouldFail(site)` has been evaluated (active or not). */
+int64_t hitCount(const std::string &site);
+
+/** Currently active site names, sorted. */
+std::vector<std::string> activeSites();
+
+/** RAII activation for test scopes. */
+class Scoped
+{
+  public:
+    explicit Scoped(std::string site, int64_t limit = -1)
+        : site_(std::move(site))
+    {
+        activate(site_, limit);
+    }
+    ~Scoped() { deactivate(site_); }
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+
+  private:
+    std::string site_;
+};
+
+/** RAII activation of a whole site list (e.g. ConversionCase::failpoints). */
+class ScopedSet
+{
+  public:
+    explicit ScopedSet(std::vector<std::string> sites)
+        : sites_(std::move(sites))
+    {
+        for (const auto &s : sites_)
+            activate(s);
+    }
+    ~ScopedSet()
+    {
+        for (const auto &s : sites_)
+            deactivate(s);
+    }
+    ScopedSet(const ScopedSet &) = delete;
+    ScopedSet &operator=(const ScopedSet &) = delete;
+
+  private:
+    std::vector<std::string> sites_;
+};
+
+} // namespace failpoint
+} // namespace ll
+
+#define LL_FAILPOINT(site) (::ll::failpoint::shouldFail(site))
+
+#endif // LL_SUPPORT_FAILPOINT_H

@@ -1,0 +1,54 @@
+#include "support/result.h"
+
+#include <sstream>
+
+namespace ll {
+
+std::string
+toString(DiagCode code)
+{
+    switch (code) {
+      case DiagCode::InvalidInput:
+        return "invalid-input";
+      case DiagCode::ShuffleNotApplicable:
+        return "shuffle-not-applicable";
+      case DiagCode::ShuffleDegenerate:
+        return "shuffle-degenerate";
+      case DiagCode::SwizzleBasisIncomplete:
+        return "swizzle-basis-incomplete";
+      case DiagCode::LegacySwizzleUnavailable:
+        return "legacy-swizzle-unavailable";
+      case DiagCode::TileMismatch:
+        return "tile-mismatch";
+      case DiagCode::PaddedUnavailable:
+        return "padded-unavailable";
+      case DiagCode::ScalarUnavailable:
+        return "scalar-unavailable";
+      case DiagCode::FailpointInjected:
+        return "failpoint-injected";
+      case DiagCode::PlannerInternalError:
+        return "planner-internal-error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << "[" << stage << "] " << ll::toString(code);
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
+std::string
+PlanDiagnostics::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < notes.size(); ++i)
+        os << (i ? "; " : "") << notes[i].toString();
+    return os.str();
+}
+
+} // namespace ll

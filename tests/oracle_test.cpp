@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
+#include "check/case_io.h"
 #include "check/generators.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
 #include "codegen/conversion.h"
 #include "codegen/shuffle.h"
+#include "engine/layout_engine.h"
 #include "layout/dims.h"
 
 namespace ll {
@@ -109,6 +112,152 @@ TEST(Oracle, FlagsAMisclassifiedRegisterPermute)
         check::checkPlan(plan, src, dst, 4, sim::GpuSpec::rtx4090());
     EXPECT_FALSE(report.ok());
     EXPECT_GT(report.localityViolations, 0) << report.toString();
+}
+
+// --------------------------------------------------------------------
+// Input validation: invalid layout pairs are rejected with a
+// structured InvalidInput diagnostic (tryPlanConversion) and a
+// UserError (planConversion) — never an abort or a bogus plan.
+// --------------------------------------------------------------------
+
+/** A trivial 1-element-per-thread layout over one out dim. */
+LinearLayout
+tinyLayout(const std::string &outDim, int32_t size,
+           const std::string &inDim = dims::kReg)
+{
+    LinearLayout l = LinearLayout::identity1D(size, inDim, outDim);
+    for (const auto &d : {dims::kReg, dims::kLane, dims::kWarp}) {
+        if (d != inDim)
+            l = l * LinearLayout::identity1D(1, d, outDim);
+    }
+    return l;
+}
+
+TEST(PlannerValidation, RejectsMismatchedOutDimNames)
+{
+    auto src = tinyLayout("dim0", 2);
+    auto dst = tinyLayout("dimX", 2);
+    auto r = codegen::tryPlanConversion(src, dst, 4,
+                                        sim::GpuSpec::gh200());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, DiagCode::InvalidInput);
+    EXPECT_THROW(
+        codegen::planConversion(src, dst, 4, sim::GpuSpec::gh200()),
+        UserError);
+}
+
+TEST(PlannerValidation, RejectsMismatchedOutDimSizes)
+{
+    auto src = tinyLayout("dim0", 2);
+    auto dst = tinyLayout("dim0", 4);
+    auto r = codegen::tryPlanConversion(src, dst, 4,
+                                        sim::GpuSpec::gh200());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, DiagCode::InvalidInput);
+    EXPECT_THROW(
+        codegen::planConversion(src, dst, 4, sim::GpuSpec::gh200()),
+        UserError);
+}
+
+TEST(PlannerValidation, RejectsUnsupportedElementSize)
+{
+    auto src = tinyLayout("dim0", 2);
+    auto r = codegen::tryPlanConversion(src, src, 3,
+                                        sim::GpuSpec::gh200());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, DiagCode::InvalidInput);
+    EXPECT_THROW(
+        codegen::planConversion(src, src, 3, sim::GpuSpec::gh200()),
+        UserError);
+}
+
+TEST(PlannerValidation, RejectsNonDistributedInputDims)
+{
+    // A shared-memory-style layout (offset -> tensor) is not a valid
+    // conversion endpoint; the planner wants register/lane/warp.
+    auto src = LinearLayout::identity1D(2, dims::kOffset, "dim0");
+    auto dst = tinyLayout("dim0", 2);
+    auto r = codegen::tryPlanConversion(src, dst, 4,
+                                        sim::GpuSpec::gh200());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, DiagCode::InvalidInput);
+    EXPECT_THROW(
+        codegen::planConversion(src, dst, 4, sim::GpuSpec::gh200()),
+        UserError);
+}
+
+TEST(EngineValidation, AnchorRejectsDegenerateTypes)
+{
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    EXPECT_THROW(eng.anchorForMemory({ir::DType::F32, {}}), UserError);
+    EXPECT_THROW(eng.anchorForMemory({ir::DType::F32, {16, 0}}),
+                 UserError);
+}
+
+TEST(EngineValidation, DotResultRejectsBadAccumulators)
+{
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    EXPECT_THROW(eng.dotResultLayout({ir::DType::F32, {128}}, 16),
+                 UserError);
+    EXPECT_THROW(eng.dotResultLayout({ir::DType::F32, {64, 64}}, 0),
+                 UserError);
+}
+
+TEST(EngineValidation, DotOperandRejectsMismatchedShapes)
+{
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    ir::TensorType acc{ir::DType::F32, {64, 64}};
+    ir::TensorType a{ir::DType::F16, {64, 32}};
+    EXPECT_THROW(eng.dotOperandLayout(a, acc, 2, 16), UserError);
+    ir::TensorType wrongM{ir::DType::F16, {32, 32}};
+    EXPECT_THROW(eng.dotOperandLayout(wrongM, acc, 0, 16), UserError);
+    ir::TensorType wrongN{ir::DType::F16, {32, 32}};
+    EXPECT_THROW(eng.dotOperandLayout(wrongN, acc, 1, 16), UserError);
+}
+
+// --------------------------------------------------------------------
+// Fallback metadata: kind names round-trip through strings (the engine
+// tags ops "convert:<kind>") and failpoint sets round-trip through the
+// corpus text format (a shrunk reproducer must replay its injected
+// faults).
+// --------------------------------------------------------------------
+
+TEST(PlanMetadata, ConversionKindStringsRoundTrip)
+{
+    const codegen::ConversionKind kinds[] = {
+        codegen::ConversionKind::NoOp,
+        codegen::ConversionKind::RegisterPermute,
+        codegen::ConversionKind::WarpShuffle,
+        codegen::ConversionKind::SharedMemory,
+        codegen::ConversionKind::SharedPadded,
+        codegen::ConversionKind::SharedScalar,
+    };
+    for (auto k : kinds) {
+        auto s = codegen::toString(k);
+        EXPECT_FALSE(s.empty());
+        auto parsed = codegen::parseConversionKind(s);
+        ASSERT_TRUE(parsed.has_value()) << s;
+        EXPECT_EQ(*parsed, k) << s;
+    }
+    EXPECT_FALSE(codegen::parseConversionKind("unplanned").has_value());
+    EXPECT_FALSE(codegen::parseConversionKind("").has_value());
+}
+
+TEST(PlanMetadata, CaseIoPreservesFailpoints)
+{
+    auto c = sharedMemoryCase();
+    c.failpoints = {"plan.optimal-swizzle", "plan.legacy-swizzle"};
+    std::stringstream ss;
+    check::writeCase(ss, c);
+    auto back = check::readCase(ss);
+    EXPECT_EQ(back.failpoints, c.failpoints);
+    EXPECT_EQ(back.elemBytes, c.elemBytes);
+    EXPECT_EQ(back.src, c.src);
+    EXPECT_EQ(back.dst, c.dst);
+    // And the round-tripped case actually plans under those faults.
+    auto report = check::checkConversionCase(back);
+    EXPECT_EQ(report.kind, codegen::ConversionKind::SharedPadded);
+    EXPECT_TRUE(report.ok()) << report.toString();
 }
 
 // --------------------------------------------------------------------

@@ -15,11 +15,19 @@
  *
  * Usage:
  *   llfuzz [--seed N] [--iters M] [--max-rank R] [--emit-corpus DIR]
- *          [--replay FILE] [--inject-bug] [--verbose]
+ *          [--replay FILE] [--inject-bug] [--failpoint-rate P]
+ *          [--verbose]
  *
  * --inject-bug runs the harness self-test: a swizzle-aliasing bug is
  * deliberately injected into a shared-memory plan; the oracle must catch
  * it and the shrinker must reduce it to a tensor of at most 32 elements.
+ *
+ * --failpoint-rate P activates each planner failpoint site independently
+ * with probability P on every generated case, forcing random walks down
+ * the fallback ladder; the oracle then checks that whatever rung the
+ * planner lands on still routes every element correctly. The active set
+ * is recorded in the case (and preserved through shrinking), so
+ * reproducers replay the exact same injected failures.
  */
 
 #include <cstring>
@@ -46,6 +54,7 @@ struct Options
     std::string emitCorpusDir;
     std::string replayFile;
     bool injectBug = false;
+    double failpointRate = 0.0;
     bool verbose = false;
 };
 
@@ -55,7 +64,8 @@ usage()
     std::cerr
         << "usage: llfuzz [--seed N] [--iters M] [--max-rank R]\n"
            "              [--emit-corpus DIR] [--replay FILE]\n"
-           "              [--inject-bug] [--verbose]\n";
+           "              [--inject-bug] [--failpoint-rate P]\n"
+           "              [--verbose]\n";
 }
 
 bool
@@ -97,6 +107,16 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.replayFile = v;
         } else if (arg == "--inject-bug") {
             opt.injectBug = true;
+        } else if (arg == "--failpoint-rate") {
+            const char *v = needValue("--failpoint-rate");
+            if (!v)
+                return false;
+            opt.failpointRate = std::stod(v);
+            if (opt.failpointRate < 0.0 || opt.failpointRate > 1.0) {
+                std::cerr << "llfuzz: --failpoint-rate must be in "
+                             "[0, 1]\n";
+                return false;
+            }
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -236,10 +256,28 @@ main(int argc, char **argv)
     std::mt19937 rng(opt.seed);
     check::GenOptions gen;
     gen.maxRank = opt.maxRank;
+    const auto failpointSites = codegen::plannerFailpointSites();
+    std::bernoulli_distribution failpointCoin(opt.failpointRate);
     std::map<std::string, int> kindCounts;
+    int64_t casesWithFailpoints = 0;
     int64_t corpusWritten = 0;
     for (int iter = 0; iter < opt.iters; ++iter) {
         auto c = check::randomConversionCase(rng, gen);
+        if (opt.failpointRate > 0.0) {
+            for (const auto &site : failpointSites) {
+                if (failpointCoin(rng))
+                    c.failpoints.push_back(site);
+            }
+            if (!c.failpoints.empty()) {
+                ++casesWithFailpoints;
+                std::ostringstream fs;
+                fs << c.summary << " +failpoints{";
+                for (size_t s = 0; s < c.failpoints.size(); ++s)
+                    fs << (s ? "," : "") << c.failpoints[s];
+                fs << "}";
+                c.summary = fs.str();
+            }
+        }
         check::OracleReport report;
         try {
             report = checker(c);
@@ -269,6 +307,11 @@ main(int argc, char **argv)
               << ")\n";
     for (const auto &[kind, count] : kindCounts)
         std::cout << "  " << kind << ": " << count << "\n";
+    if (opt.failpointRate > 0.0) {
+        std::cout << "  cases with injected failpoints: "
+                  << casesWithFailpoints << " (rate "
+                  << opt.failpointRate << ")\n";
+    }
     if (corpusWritten)
         std::cout << "  corpus files written: " << corpusWritten << "\n";
     return 0;
