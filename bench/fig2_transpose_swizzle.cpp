@@ -100,7 +100,7 @@ printTable()
             auto swz = codegen::computeOptimalSwizzle(src, dst, 1, spec);
             auto res =
                 codegen::executeSharedConversion(swz, src, dst, 1, spec);
-            allCorrect = allCorrect && res.correct;
+            allCorrect = allCorrect && res.ok() && res->correct;
         }
     }
     std::printf("swizzled conversions verified on simulator: %s\n",

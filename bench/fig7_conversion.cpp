@@ -53,7 +53,10 @@ verifyPlan(const ConvCase &c, const codegen::WarpShufflePlan &plan)
                 (static_cast<uint64_t>(lane) << regLog)));
         }
     }
-    auto out = plan.execute(regs);
+    auto outOr = plan.execute(regs);
+    if (!outOr.ok())
+        return false;
+    auto &out = *outOr;
     const int dstRegLog = c.dst.getInDimSizeLog2("register");
     for (int lane = 0; lane < plan.warpSize; ++lane) {
         for (int reg = 0; reg < plan.numRegsB; ++reg) {

@@ -51,7 +51,10 @@ verifyGather(const LinearLayout &layout, const codegen::GatherPlan &plan)
                 (coords[0].second + 1) % kSize); // rotate by one
         }
     }
-    auto out = codegen::executeGather(plan, layout, 0, regs, idx);
+    auto outOr = codegen::executeGather(plan, layout, 0, regs, idx);
+    if (!outOr.ok())
+        return false;
+    auto &out = *outOr;
     for (int lane = 0; lane < warpSize; ++lane) {
         for (int reg = 0; reg < plan.numRegs; ++reg) {
             auto coords = layout.apply(

@@ -60,7 +60,7 @@ runLinearCase(DType a, DType b, const std::array<int32_t, 3> &shape,
                 auto res = codegen::executeSharedConversion(
                     *plan.shared, *src.layout, *dst.layout, elemBytes,
                     spec);
-                if (!res.correct)
+                if (!res.ok() || !res->correct)
                     return false;
             }
         }

@@ -51,7 +51,13 @@ main()
             idx[lane].push_back(15 - col);
         }
     }
-    auto out = codegen::executeGather(*plan, layout, 0, regs, idx);
+    auto outOr = codegen::executeGather(*plan, layout, 0, regs, idx);
+    if (!outOr.ok()) {
+        std::printf("gather execution failed: %s\n",
+                    outOr.diag().toString().c_str());
+        return 1;
+    }
+    auto &out = *outOr;
 
     int errors = 0;
     for (int lane = 0; lane < 32; ++lane) {

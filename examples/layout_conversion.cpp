@@ -60,7 +60,13 @@ main()
                  << src.getInDimSizeLog2("register"))));
         }
     }
-    auto out = shuffle.execute(regs);
+    auto outOr = shuffle.execute(regs);
+    if (!outOr.ok()) {
+        std::printf("shuffle execution failed: %s\n",
+                    outOr.diag().toString().c_str());
+        return 1;
+    }
+    auto &out = *outOr;
 
     // Verify against the destination layout.
     int errors = 0;

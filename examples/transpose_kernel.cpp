@@ -60,8 +60,14 @@ main()
                 static_cast<long long>(padded.sharedBytes -
                                        int64_t(64) * 64));
 
-    auto result = codegen::executeSharedConversion(swz, src, dst, 1,
-                                                   spec);
+    auto resultOr = codegen::executeSharedConversion(swz, src, dst, 1,
+                                                     spec);
+    if (!resultOr.ok()) {
+        std::printf("\nsimulated conversion FAILED: %s\n",
+                    resultOr.diag().toString().c_str());
+        return 1;
+    }
+    auto &result = *resultOr;
     std::printf("\nsimulated conversion: %s\n",
                 result.correct ? "every element landed correctly"
                                : "FAILED");

@@ -219,7 +219,14 @@ checkPlan(const codegen::ConversionPlan &plan, const LinearLayout &srcIn,
                     regs[static_cast<size_t>(lane)].push_back(srcFile[i]);
                 }
             }
-            auto out = p.execute(regs);
+            auto outOr = p.execute(regs);
+            if (!outOr) {
+                report.structureOk = false;
+                report.detail = "shuffle execution failed: " +
+                                outOr.diag().toString();
+                return report;
+            }
+            auto &out = *outOr;
             for (int lane = 0; lane < numLanes; ++lane) {
                 for (int reg = 0; reg < p.numRegsB; ++reg) {
                     uint64_t j =
@@ -244,11 +251,21 @@ checkPlan(const codegen::ConversionPlan &plan, const LinearLayout &srcIn,
             report.detail = "shared-memory plan carries no layout";
             return report;
         }
-        auto rt = codegen::runSharedRoundTrip(*plan.shared, src, dst,
-                                              srcFile, elemBytes, spec);
+        auto rtOr = codegen::runSharedRoundTrip(
+            *plan.shared, src, dst, srcFile, elemBytes, spec);
+        if (!rtOr) {
+            report.structureOk = false;
+            report.detail = "shared round trip failed: " +
+                            rtOr.diag().toString();
+            return report;
+        }
+        auto &rt = *rtOr;
         dstFile = rt.dstFile;
-        if (plan.kind != codegen::ConversionKind::SharedPadded) {
-            // Lemma 9.4 applies only without padding.
+        if (plan.kind != codegen::ConversionKind::SharedPadded &&
+            !plan.shared->windowed()) {
+            // Lemma 9.4 applies only without padding, and windowing
+            // splits each access across passes, breaking the per-access
+            // uniformity the audit multiplies by.
             report.audited = true;
             report.analyticStorePerAccess = plan.storeWavefrontsPerAccess;
             report.analyticLoadPerAccess = plan.loadWavefrontsPerAccess;
@@ -302,6 +319,47 @@ checkConversionCase(const ConversionCase &c, const PlanMutator &mutate)
     if (mutate)
         mutate(plan);
     return checkPlan(plan, c.src, c.dst, c.elemBytes, spec);
+}
+
+DemotionReport
+checkCaseWithDemotion(const ConversionCase &c)
+{
+    DemotionReport out;
+    auto spec = c.spec();
+    failpoint::ScopedSet guard(c.failpoints);
+    auto plan = codegen::planConversion(c.src, c.dst, c.elemBytes, spec);
+    out.initialKind = plan.kind;
+    out.finalKind = plan.kind;
+
+    // The engine's execution-triggered demotion loop, replayed here so
+    // tests can audit what the engine would have shipped.
+    while (true) {
+        auto fail = codegen::smokeExecutePlan(plan, c.src, c.dst,
+                                              c.elemBytes, spec);
+        if (!fail.has_value())
+            break;
+        out.notes.push_back("convert:" + codegen::toString(plan.kind) +
+                            " execution failed: " + fail->toString());
+        auto knockout = codegen::demotionSitesFor(plan.kind);
+        if (knockout.empty()) {
+            out.survived = false;
+            return out;
+        }
+        failpoint::ScopedSet demotionGuard(std::move(knockout));
+        auto replanned = codegen::tryPlanConversion(c.src, c.dst,
+                                                    c.elemBytes, spec);
+        if (!replanned.ok()) {
+            out.notes.push_back("demoted re-plan failed: " +
+                                replanned.diag().toString());
+            out.survived = false;
+            return out;
+        }
+        ++out.demotions;
+        plan = std::move(*replanned);
+        out.finalKind = plan.kind;
+    }
+    out.report = checkPlan(plan, c.src, c.dst, c.elemBytes, spec);
+    return out;
 }
 
 bool

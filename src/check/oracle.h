@@ -116,6 +116,38 @@ using PlanMutator = std::function<void(codegen::ConversionPlan &)>;
 OracleReport checkConversionCase(const ConversionCase &c,
                                  const PlanMutator &mutate = nullptr);
 
+/** A demotion-aware oracle run: what happened on the way down. */
+struct DemotionReport
+{
+    /** The rung the planner picked before any execution failure. */
+    codegen::ConversionKind initialKind = codegen::ConversionKind::NoOp;
+    /** The rung whose execution finally succeeded (== the checked
+     *  plan's kind). */
+    codegen::ConversionKind finalKind = codegen::ConversionKind::NoOp;
+    /** Execution-triggered demotion steps taken. */
+    int demotions = 0;
+    /** False when execution failed on the terminal rung or a demoted
+     *  re-plan could not be built; `report` is then default-initialized
+     *  and must not be trusted. */
+    bool survived = true;
+    /** The full oracle verdict on the finally-executed plan. */
+    OracleReport report;
+    /** ExecDiagnostics and re-plan failures accumulated on the way. */
+    std::vector<std::string> notes;
+};
+
+/**
+ * Mirror the engine's execution-triggered demotion on one conversion
+ * case, then audit the surviving plan with the full oracle: plan the
+ * case (under its failpoint set), smoke-execute, and on an
+ * ExecDiagnostic re-plan one rung down via
+ * codegen::demotionSitesFor until execution succeeds. This is how the
+ * exec-fallback tests prove a demoted re-plan still round-trips
+ * bit-exactly. Planning failures propagate as exceptions, like
+ * checkConversionCase.
+ */
+DemotionReport checkCaseWithDemotion(const ConversionCase &c);
+
 /**
  * The canonical injected bug: zero the first nonzero basis vector of the
  * plan's tensor->offset map, aliasing two tensor elements onto one

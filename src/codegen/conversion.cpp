@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codegen/shared_exec.h"
 #include "codegen/tiles.h"
 #include "triton/encodings.h"
 #include "layout/dims.h"
+#include "sim/memory_sim.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
 
@@ -101,15 +103,28 @@ validateInputs(const LinearLayout &src, const LinearLayout &dst,
 
 /**
  * Price a shared candidate and fill the shared fields of a trial plan.
- * Throws only on internal invariant violations, which the caller turns
- * into a PlannerInternalError note.
+ * Returns a CtaBudgetExceeded Diagnostic when the candidate's actual
+ * allocation (one window for windowed candidates, the whole padded
+ * tensor otherwise) does not fit the CTA shared budget, so the ladder
+ * demotes instead of the executor aborting. Throws only on internal
+ * invariant violations, which the caller turns into a
+ * PlannerInternalError note.
  */
-ConversionPlan
+Result<ConversionPlan>
 evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
                         const LinearLayout &src, const LinearLayout &dst,
                         int elemBytes, const sim::GpuSpec &spec,
                         bool allowLdmatrix, bool allowStmatrix)
 {
+    const int64_t numElems = src.getTotalOutDimSize();
+    const int64_t alloc = cand.allocElems(numElems);
+    if (!sim::SharedMemory::fits(spec, elemBytes, alloc)) {
+        return makeDiag(
+            DiagCode::CtaBudgetExceeded, "plan.cta-budget",
+            "candidate allocates " + std::to_string(alloc * elemBytes) +
+                " bytes of shared memory but the CTA budget is " +
+                std::to_string(spec.sharedMemPerCta));
+    }
     ConversionPlan trial = base;
     LinearLayout toOffset =
         cand.tensorToOffset.transposeIns(src.getOutDimNames());
@@ -122,7 +137,10 @@ evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
     trial.usesLdmatrix = allowLdmatrix && spec.hasLdmatrix &&
                          !cand.padded() &&
                          matchesLdmatrixTile(loadCvt, elemBytes);
-    if (!cand.padded()) {
+    if (!cand.padded() && !cand.windowed()) {
+        // Lemma 9.4 needs per-access uniformity; padding breaks it and
+        // windowing splits accesses across passes, so both fall back to
+        // the enumerated totals below.
         trial.storeWavefrontsPerAccess =
             analyticWavefronts(cand, src, elemBytes, spec);
         trial.loadWavefrontsPerAccess =
@@ -134,6 +152,20 @@ evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
         enumerateWavefronts(cand, dst, elemBytes, spec);
     trial.shared = std::move(cand);
     return trial;
+}
+
+/** Canonicalize to (register, lane, warp) input order, adding size-1
+ *  dims where missing, as the shared executors require. */
+LinearLayout
+canonicalIns(const LinearLayout &layout)
+{
+    LinearLayout out = layout;
+    for (const auto &dim : {dims::kReg, dims::kLane, dims::kWarp}) {
+        if (!out.hasInDim(dim))
+            out = out * LinearLayout::identity1D(
+                            1, dim, out.getOutDimNames().front());
+    }
+    return out.transposeIns({dims::kReg, dims::kLane, dims::kWarp});
 }
 
 } // namespace
@@ -187,6 +219,113 @@ plannerFailpointSites()
         "plan.ldmatrix",       "plan.stmatrix",
         "plan.padded",
     };
+}
+
+std::vector<std::string>
+executionFailpointSites()
+{
+    return {
+        "exec.shuffle.shape",     "exec.shuffle.lane-range",
+        "exec.shuffle.reg-range", "exec.gather.invert",
+        "exec.gather.index-range", "exec.gather.cross-warp",
+        "exec.shared.file-size",  "exec.shared.alloc",
+        "exec.shared.window",     "exec.shared.bank-budget",
+    };
+}
+
+std::vector<std::string>
+demotionSitesFor(ConversionKind kind)
+{
+    // Cumulative knockout sets: disabling every rung at or above `kind`
+    // forces the re-plan strictly below it. The shared executors serve
+    // rungs 4-6 alike, so the engine cannot tell from an ExecDiagnostic
+    // which shared rung misbehaved — it demotes the one the plan names.
+    switch (kind) {
+      case ConversionKind::NoOp:
+        return {"plan.noop"};
+      case ConversionKind::RegisterPermute:
+        return {"plan.noop", "plan.register-permute"};
+      case ConversionKind::WarpShuffle:
+        return {"plan.noop", "plan.register-permute",
+                "plan.warp-shuffle"};
+      case ConversionKind::SharedMemory:
+        return {"plan.noop", "plan.register-permute",
+                "plan.warp-shuffle", "plan.optimal-swizzle",
+                "plan.legacy-swizzle"};
+      case ConversionKind::SharedPadded:
+        return {"plan.noop", "plan.register-permute",
+                "plan.warp-shuffle", "plan.optimal-swizzle",
+                "plan.legacy-swizzle", "plan.padded"};
+      case ConversionKind::SharedScalar:
+        return {}; // terminal: nowhere left to demote to
+    }
+    return {};
+}
+
+std::optional<ExecDiagnostic>
+smokeExecutePlan(const ConversionPlan &plan, const LinearLayout &srcIn,
+                 const LinearLayout &dstIn, int elemBytes,
+                 const sim::GpuSpec &spec)
+{
+    switch (plan.kind) {
+      case ConversionKind::NoOp:
+      case ConversionKind::RegisterPermute:
+        return std::nullopt;
+      case ConversionKind::WarpShuffle: {
+        if (!plan.shuffle.has_value()) {
+            return makeExecDiag(ExecError::PlanShapeMismatch,
+                                "exec.shuffle",
+                                "warp-shuffle plan carries no schedule");
+        }
+        const WarpShufflePlan &p = *plan.shuffle;
+        if (p.warpSize <= 0 || p.numRegsA < 0) {
+            return makeExecDiag(ExecError::PlanShapeMismatch,
+                                "exec.shuffle",
+                                "warp-shuffle plan has degenerate shape");
+        }
+        // The schedule is warp-invariant, so one warp of tagged
+        // registers exercises every exchange exactly once.
+        std::vector<std::vector<uint64_t>> regs(
+            static_cast<size_t>(p.warpSize),
+            std::vector<uint64_t>(static_cast<size_t>(p.numRegsA)));
+        for (int lane = 0; lane < p.warpSize; ++lane) {
+            for (int reg = 0; reg < p.numRegsA; ++reg) {
+                regs[static_cast<size_t>(lane)][static_cast<size_t>(
+                    reg)] =
+                    static_cast<uint64_t>(lane) *
+                        static_cast<uint64_t>(p.numRegsA) +
+                    static_cast<uint64_t>(reg);
+            }
+        }
+        auto out = p.execute(regs);
+        if (!out)
+            return out.diag();
+        return std::nullopt;
+      }
+      case ConversionKind::SharedMemory:
+      case ConversionKind::SharedPadded:
+      case ConversionKind::SharedScalar: {
+        if (!plan.shared.has_value()) {
+            return makeExecDiag(ExecError::PlanShapeMismatch,
+                                "exec.shared",
+                                "shared plan carries no layout");
+        }
+        LinearLayout src = canonicalIns(srcIn);
+        LinearLayout dst =
+            canonicalIns(dstIn.transposeOuts(srcIn.getOutDimNames()));
+        const uint64_t srcSize =
+            static_cast<uint64_t>(src.getTotalInDimSize());
+        std::vector<uint64_t> srcFile(srcSize);
+        for (uint64_t i = 0; i < srcSize; ++i)
+            srcFile[i] = src.applyFlat(i);
+        auto rt = runSharedRoundTrip(*plan.shared, src, dst, srcFile,
+                                     elemBytes, spec);
+        if (!rt)
+            return rt.diag();
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
 }
 
 Result<ConversionPlan>
@@ -297,9 +436,14 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
     ConversionPlan best;
     for (auto &cand : candidates) {
         try {
-            ConversionPlan trial = evaluateSharedCandidate(
+            auto evaluated = evaluateSharedCandidate(
                 plan, std::move(cand), src, dst, elemBytes, spec,
                 allowLdmatrix, allowStmatrix);
+            if (!evaluated) {
+                notes.note(evaluated.diag());
+                continue;
+            }
+            ConversionPlan trial = std::move(*evaluated);
             trial.kind = ConversionKind::SharedMemory;
             double cost = trial.estimateCycles(src, elemBytes, spec);
             // Cost ties (common: several conflict-free layouts) break
@@ -336,11 +480,15 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
                 // instructions belong to the optimally swizzled plan,
                 // and pricing them here would let a degraded rung
                 // undercut the rung above it.
-                ConversionPlan trial = evaluateSharedCandidate(
+                auto evaluated = evaluateSharedCandidate(
                     plan, std::move(*padded), src, dst, elemBytes, spec,
                     /*allowLdmatrix=*/false, /*allowStmatrix=*/false);
-                trial.kind = ConversionKind::SharedPadded;
-                return trial;
+                if (evaluated) {
+                    ConversionPlan trial = std::move(*evaluated);
+                    trial.kind = ConversionKind::SharedPadded;
+                    return trial;
+                }
+                notes.note(evaluated.diag());
             } catch (const std::exception &e) {
                 notes.note(DiagCode::PaddedUnavailable, "plan.padded",
                            std::string("padded candidate rejected: ") +
@@ -357,11 +505,15 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
         auto scalar = planScalarShared(src, dst, elemBytes, spec);
         if (scalar) {
             try {
-                ConversionPlan trial = evaluateSharedCandidate(
+                auto evaluated = evaluateSharedCandidate(
                     plan, std::move(*scalar), src, dst, elemBytes, spec,
                     /*allowLdmatrix=*/false, /*allowStmatrix=*/false);
-                trial.kind = ConversionKind::SharedScalar;
-                return trial;
+                if (evaluated) {
+                    ConversionPlan trial = std::move(*evaluated);
+                    trial.kind = ConversionKind::SharedScalar;
+                    return trial;
+                }
+                notes.note(evaluated.diag());
             } catch (const std::exception &e) {
                 notes.note(DiagCode::ScalarUnavailable, "plan.scalar",
                            std::string("scalar candidate rejected: ") +
@@ -450,8 +602,14 @@ ConversionPlan::estimateCycles(const LinearLayout &src, int elemBytes,
             2.0 * numRegsSrc * groups * worstPerGroup;
         const double issuedInstr =
             2.0 * std::max(1, numRegsSrc / shared->vecElems());
+        // A windowed plan pays the round-trip barrier once per pass;
+        // the adder only grows down the ladder (windowing engages only
+        // on the scalar rung, when the flat allocation cannot fit), so
+        // rung-order monotonicity is preserved.
+        const double passes = static_cast<double>(
+            shared->passesFor(src.getTotalOutDimSize()));
         return worstWavefronts * spec.sharedWavefrontCycles +
-               issuedInstr + spec.sharedRoundTripCycles;
+               issuedInstr + passes * spec.sharedRoundTripCycles;
       }
     }
     return 0.0;

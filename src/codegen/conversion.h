@@ -128,6 +128,38 @@ ConversionPlan planConversion(const LinearLayout &src,
  */
 std::vector<std::string> plannerFailpointSites();
 
+/**
+ * Every failpoint site the Result-returning executors consult
+ * (exec.shuffle.*, exec.gather.*, exec.shared.*). These guard the
+ * execution-time error paths rather than planning rungs; activating one
+ * with a limit of 1 fails exactly one execution attempt, so a demoted
+ * re-plan's smoke execution succeeds. Used by llfuzz
+ * --failpoint-coverage and the exec-fallback tests.
+ */
+std::vector<std::string> executionFailpointSites();
+
+/**
+ * The planner-failpoint knockout set that forces a re-plan strictly
+ * below `kind` on the fallback ladder (every rung at or above it is
+ * disabled). Empty for SharedScalar: the terminal rung has nowhere to
+ * demote to, so an execution failure there is an engine failure.
+ */
+std::vector<std::string> demotionSitesFor(ConversionKind kind);
+
+/**
+ * Execute `plan` once on tagged data to prove its executors are sound
+ * for these layouts: WarpShuffle runs its shuffle schedule for warp 0
+ * (the schedule is warp-invariant), the shared kinds run the full
+ * simulated round trip. NoOp and RegisterPermute have no executor and
+ * trivially pass. Returns the first executor failure, or nullopt when
+ * execution succeeded — correctness of the *data* is the oracle's job
+ * (src/check), not this smoke test's.
+ */
+std::optional<ExecDiagnostic>
+smokeExecutePlan(const ConversionPlan &plan, const LinearLayout &src,
+                 const LinearLayout &dst, int elemBytes,
+                 const sim::GpuSpec &spec);
+
 } // namespace codegen
 } // namespace ll
 

@@ -2,6 +2,7 @@
 
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -44,28 +45,61 @@ planGather(const LinearLayout &layout, int axis, const sim::GpuSpec &spec)
     return plan;
 }
 
-std::vector<std::vector<uint64_t>>
+Result<std::vector<std::vector<uint64_t>>, ExecDiagnostic>
 executeGather(const GatherPlan &plan, const LinearLayout &layout,
               int32_t warp, const std::vector<std::vector<uint64_t>> &regs,
               const std::vector<std::vector<int32_t>> &idx)
 {
-    LinearLayout inv = layout.invert();
+  try {
     const int warpSize = plan.warpSize;
     const int numRegs = plan.numRegs;
     const std::string axisDim = dims::out(plan.axis);
+    if (static_cast<int>(regs.size()) != warpSize ||
+        static_cast<int>(idx.size()) != warpSize || warpSize <= 0) {
+        return makeExecDiag(ExecError::PlanShapeMismatch, "exec.gather",
+                            "register/index files do not span the warp");
+    }
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (static_cast<int>(regs[static_cast<size_t>(lane)].size()) <
+                numRegs ||
+            static_cast<int>(idx[static_cast<size_t>(lane)].size()) <
+                numRegs) {
+            return makeExecDiag(ExecError::PlanShapeMismatch,
+                                "exec.gather",
+                                "a lane holds fewer registers than the "
+                                "plan reads");
+        }
+    }
+    if (LL_FAILPOINT("exec.gather.invert") || !layout.isInvertible()) {
+        return makeExecDiag(ExecError::NonInvertibleStep,
+                            "exec.gather.invert",
+                            "gather layout is not invertible");
+    }
+    LinearLayout inv = layout.invert();
+    const int64_t axisSize = layout.getOutDimSize(axisDim);
+    const bool failIndex = LL_FAILPOINT("exec.gather.index-range");
+    const bool failWarp = LL_FAILPOINT("exec.gather.cross-warp");
 
     std::vector<std::vector<uint64_t>> out(
         static_cast<size_t>(warpSize),
         std::vector<uint64_t>(static_cast<size_t>(numRegs)));
     for (int lane = 0; lane < warpSize; ++lane) {
         for (int reg = 0; reg < numRegs; ++reg) {
+            int32_t index = idx[static_cast<size_t>(lane)]
+                               [static_cast<size_t>(reg)];
+            if (failIndex || index < 0 || index >= axisSize) {
+                return makeExecDiag(
+                    ExecError::RegisterOutOfRange,
+                    "exec.gather.index-range",
+                    "gather index " + std::to_string(index) +
+                        " outside axis of " + std::to_string(axisSize));
+            }
             auto coords = layout.apply(
                 {{kReg, reg}, {kLane, lane}, {kWarp, warp}});
             // Redirect the axis coordinate through the index tensor.
             for (auto &[dim, value] : coords) {
                 if (dim == axisDim)
-                    value = idx[static_cast<size_t>(lane)]
-                               [static_cast<size_t>(reg)];
+                    value = index;
             }
             auto srcIdx = inv.apply(coords);
             int32_t srcReg = 0, srcLane = 0, srcWarp = 0;
@@ -77,15 +111,31 @@ executeGather(const GatherPlan &plan, const LinearLayout &layout,
                 else if (dim == kWarp)
                     srcWarp = value;
             }
-            llAssert(srcWarp == warp,
-                     "gather source crossed warps despite a warp-local "
-                     "plan");
+            if (failWarp || srcWarp != warp) {
+                return makeExecDiag(
+                    ExecError::CrossWarpSource, "exec.gather.cross-warp",
+                    "gather source landed in warp " +
+                        std::to_string(srcWarp) +
+                        " despite a warp-local plan");
+            }
+            if (srcLane < 0 || srcLane >= warpSize || srcReg < 0 ||
+                srcReg >= numRegs) {
+                return makeExecDiag(
+                    ExecError::LaneOutOfRange, "exec.gather.cross-warp",
+                    "gather source (reg " + std::to_string(srcReg) +
+                        ", lane " + std::to_string(srcLane) +
+                        ") outside the register file");
+            }
             out[static_cast<size_t>(lane)][static_cast<size_t>(reg)] =
                 regs[static_cast<size_t>(srcLane)]
                     [static_cast<size_t>(srcReg)];
         }
     }
     return out;
+  } catch (const std::exception &e) {
+    return makeExecDiag(ExecError::ExecInternalError, "exec.gather",
+                        e.what());
+  }
 }
 
 } // namespace codegen

@@ -19,6 +19,7 @@
 
 #include "layout/linear_layout.h"
 #include "sim/gpu_spec.h"
+#include "support/result.h"
 
 namespace ll {
 namespace codegen {
@@ -52,9 +53,13 @@ std::optional<GatherPlan> planGather(const LinearLayout &layout, int axis,
  * element that layout assigns to (r, lane, warp); idx[lane][r] holds the
  * index value (a coordinate along `axis`). Returns the gathered values
  * in the same layout, verifying en route that every fetch stays inside
- * the warp (the plan's guarantee).
+ * the warp (the plan's guarantee). Total over any input: a
+ * non-invertible layout, an index outside the gathered axis, or a fetch
+ * that crosses warps comes back as an ExecDiagnostic instead of
+ * aborting. Failpoint sites: "exec.gather.invert",
+ * "exec.gather.index-range", "exec.gather.cross-warp".
  */
-std::vector<std::vector<uint64_t>>
+Result<std::vector<std::vector<uint64_t>>, ExecDiagnostic>
 executeGather(const GatherPlan &plan, const LinearLayout &layout,
               int32_t warp,
               const std::vector<std::vector<uint64_t>> &regs,

@@ -5,6 +5,7 @@
 
 #include "layout/dims.h"
 #include "support/bits.h"
+#include "support/failpoint.h"
 
 namespace ll {
 namespace codegen {
@@ -15,80 +16,200 @@ using dims::kLane;
 using dims::kReg;
 using dims::kWarp;
 
+/** The failpoint decisions for one executor run, each site evaluated
+ *  exactly once per call so limited activations ("site:1") fail one
+ *  execution and let the demoted re-plan's execution succeed. */
+struct SharedExecFaults
+{
+    bool alloc;
+    bool window;
+    bool bankBudget;
+
+    SharedExecFaults()
+        : alloc(LL_FAILPOINT("exec.shared.alloc")),
+          window(LL_FAILPOINT("exec.shared.window")),
+          bankBudget(LL_FAILPOINT("exec.shared.bank-budget"))
+    {
+    }
+};
+
+/**
+ * Mask a warp access's storage offsets down to the current window:
+ * offsets inside [pass * window, pass * window + window) become
+ * window-local, the rest go inactive. Returns false when no lane is
+ * active (the access is not issued at all).
+ */
+bool
+maskToWindow(std::vector<int64_t> &offsets, int64_t pass, int64_t window)
+{
+    const int64_t lo = pass * window;
+    bool any = false;
+    for (int64_t &o : offsets) {
+        if (o >= lo && o < lo + window) {
+            o -= lo;
+            any = true;
+        } else {
+            o = sim::kInactiveLane;
+        }
+    }
+    return any;
+}
+
+/** Worst-case wavefronts a pass of `instructions` accesses can cost:
+ *  every lane in its own serialized wavefront, times the bank words a
+ *  single vectorized access spans. Exceeding it means the simulator or
+ *  the swizzle bookkeeping is corrupt. */
+int64_t
+bankBudget(int64_t instructions, int lanes, int vecBytes,
+           const sim::GpuSpec &spec)
+{
+    const int64_t wordsPerLane = std::max<int64_t>(
+        1, (vecBytes + spec.bankWidthBytes - 1) / spec.bankWidthBytes);
+    return instructions * std::max(lanes, 1) * wordsPerLane;
+}
+
 } // namespace
 
-SharedConversionResult
+Result<SharedConversionResult, ExecDiagnostic>
 executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                         const LinearLayout &dst, int elemBytes,
                         const sim::GpuSpec &spec)
 {
+  try {
+    SharedExecFaults faults;
     SharedConversionResult result;
     const int64_t numElems = src.getTotalOutDimSize();
-    sim::SharedMemory smem(spec, elemBytes, swz.storageElems(numElems));
+    const int64_t storage = swz.storageElems(numElems);
+    const int64_t alloc = swz.allocElems(numElems);
+    const int64_t passes = swz.passesFor(numElems);
+    if (faults.alloc || !sim::SharedMemory::fits(spec, elemBytes, alloc)) {
+        return makeExecDiag(
+            ExecError::SharedWindowOverflow, "exec.shared.alloc",
+            "allocation of " + std::to_string(alloc * elemBytes) +
+                " bytes exceeds the CTA budget of " +
+                std::to_string(spec.sharedMemPerCta));
+    }
     const int warpSize = src.getInDimSize(kLane);
     const int numWarps = src.hasInDim(kWarp) ? src.getInDimSize(kWarp) : 1;
     const int vec = swz.vecElems();
 
-    // --- store phase: every warp writes its fragment -------------------
-    auto storeReps = registerGroupReps(swz, src);
-    for (int warp = 0; warp < numWarps; ++warp) {
-        for (int32_t rep : storeReps) {
-            auto offsets =
-                warpAccessOffsets(swz, src, rep, warp, warpSize);
-            std::vector<std::vector<uint64_t>> values(offsets.size());
-            for (size_t lane = 0; lane < offsets.size(); ++lane) {
-                int64_t linear = swz.unpadOffset(offsets[lane]);
-                for (int k = 0; k < vec; ++k) {
-                    values[lane].push_back(swz.memLayout.applyFlat(
-                        static_cast<uint64_t>(linear + k)));
-                }
-            }
-            smem.warpStore(offsets, vec, values, result.storeStats);
-        }
-    }
-
-    // --- load phase + verification -------------------------------------
     LinearLayout dstAligned = dst.transposeOuts(src.getOutDimNames());
+    auto storeReps = registerGroupReps(swz, src);
     auto loadReps = registerGroupReps(swz, dstAligned);
     const int numWarpsDst = dstAligned.hasInDim(kWarp)
                                 ? dstAligned.getInDimSize(kWarp)
                                 : 1;
     result.correct = true;
-    for (int warp = 0; warp < numWarpsDst; ++warp) {
-        for (int32_t rep : loadReps) {
-            auto offsets =
-                warpAccessOffsets(swz, dstAligned, rep, warp, warpSize);
-            auto loaded = smem.warpLoad(offsets, vec, result.loadStats);
-            for (size_t lane = 0; lane < offsets.size(); ++lane) {
-                int64_t linear = swz.unpadOffset(offsets[lane]);
-                for (int k = 0; k < vec; ++k) {
-                    uint64_t expect = swz.memLayout.applyFlat(
-                        static_cast<uint64_t>(linear + k));
-                    if (loaded[lane][static_cast<size_t>(k)] != expect)
-                        result.correct = false;
+    for (int64_t pass = 0; pass < passes; ++pass) {
+        sim::SharedMemory smem(spec, elemBytes, alloc);
+
+        // --- store phase: every warp writes its fragment ---------------
+        for (int warp = 0; warp < numWarps; ++warp) {
+            for (int32_t rep : storeReps) {
+                auto offsets =
+                    warpAccessOffsets(swz, src, rep, warp, warpSize);
+                std::vector<std::vector<uint64_t>> values(offsets.size());
+                for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                    if (faults.window || offsets[lane] < 0 ||
+                        offsets[lane] + vec > storage) {
+                        return makeExecDiag(
+                            ExecError::SharedWindowOverflow,
+                            "exec.shared.window",
+                            "store offset " +
+                                std::to_string(offsets[lane]) +
+                                " outside storage of " +
+                                std::to_string(storage));
+                    }
+                    int64_t linear = swz.unpadOffset(offsets[lane]);
+                    for (int k = 0; k < vec; ++k) {
+                        values[lane].push_back(swz.memLayout.applyFlat(
+                            static_cast<uint64_t>(linear + k)));
+                    }
+                }
+                if (!maskToWindow(offsets, pass, alloc))
+                    continue;
+                smem.warpStore(offsets, vec, values, result.storeStats);
+            }
+        }
+
+        // --- load phase + verification ---------------------------------
+        for (int warp = 0; warp < numWarpsDst; ++warp) {
+            for (int32_t rep : loadReps) {
+                auto offsets = warpAccessOffsets(swz, dstAligned, rep,
+                                                 warp, warpSize);
+                auto global = offsets;
+                if (!maskToWindow(offsets, pass, alloc))
+                    continue;
+                auto loaded = smem.warpLoad(offsets, vec,
+                                            result.loadStats);
+                for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                    if (offsets[lane] == sim::kInactiveLane)
+                        continue;
+                    int64_t linear = swz.unpadOffset(global[lane]);
+                    for (int k = 0; k < vec; ++k) {
+                        uint64_t expect = swz.memLayout.applyFlat(
+                            static_cast<uint64_t>(linear + k));
+                        if (loaded[lane][static_cast<size_t>(k)] !=
+                            expect)
+                            result.correct = false;
+                    }
                 }
             }
         }
     }
+
+    const int64_t instructions = result.storeStats.instructions +
+                                 result.loadStats.instructions;
+    const int64_t measured =
+        result.storeStats.wavefronts + result.loadStats.wavefronts;
+    if (faults.bankBudget ||
+        measured >
+            bankBudget(instructions, warpSize, vec * elemBytes, spec)) {
+        return makeExecDiag(
+            ExecError::BankBudgetExceeded, "exec.shared.bank-budget",
+            std::to_string(measured) +
+                " wavefronts exceed the full-serialization budget");
+    }
     return result;
+  } catch (const std::exception &e) {
+    return makeExecDiag(ExecError::ExecInternalError, "exec.shared",
+                        e.what());
+  }
 }
 
-SharedRoundTrip
+Result<SharedRoundTrip, ExecDiagnostic>
 runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                    const LinearLayout &dst,
                    const std::vector<uint64_t> &srcFile, int elemBytes,
                    const sim::GpuSpec &spec)
 {
+  try {
+    SharedExecFaults faults;
     LinearLayout src = srcIn.transposeOuts(swz.memLayout.getOutDimNames());
     LinearLayout dstAligned =
         dst.transposeOuts(swz.memLayout.getOutDimNames());
-    llUserCheck(srcFile.size() ==
-                    static_cast<size_t>(src.getTotalInDimSize()),
-                "source register file size does not match the layout");
+    if (LL_FAILPOINT("exec.shared.file-size") ||
+        srcFile.size() != static_cast<size_t>(src.getTotalInDimSize())) {
+        return makeExecDiag(
+            ExecError::PlanShapeMismatch, "exec.shared.file-size",
+            "source register file holds " +
+                std::to_string(srcFile.size()) + " values; the layout "
+                "spans " +
+                std::to_string(src.getTotalInDimSize()));
+    }
 
     SharedRoundTrip result;
     const int64_t numElems = src.getTotalOutDimSize();
-    sim::SharedMemory smem(spec, elemBytes, swz.storageElems(numElems));
+    const int64_t storage = swz.storageElems(numElems);
+    const int64_t alloc = swz.allocElems(numElems);
+    const int64_t passes = swz.passesFor(numElems);
+    if (faults.alloc || !sim::SharedMemory::fits(spec, elemBytes, alloc)) {
+        return makeExecDiag(
+            ExecError::SharedWindowOverflow, "exec.shared.alloc",
+            "allocation of " + std::to_string(alloc * elemBytes) +
+                " bytes exceeds the CTA budget of " +
+                std::to_string(spec.sharedMemPerCta));
+    }
     const int vec = swz.vecElems();
     const uint64_t vecMask = static_cast<uint64_t>(vec) - 1;
 
@@ -101,51 +222,13 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
         return swz.tensorToOffset.applyFlat(dist.applyFlat(in));
     };
 
-    // --- store phase ---------------------------------------------------
     const int srcRegLog = src.getInDimSizeLog2(kReg);
     const int srcLaneLog = src.getInDimSizeLog2(kLane);
     const int srcWarps =
         src.hasInDim(kWarp) ? src.getInDimSize(kWarp) : 1;
     const int srcLanes = 1 << srcLaneLog;
     auto storeReps = registerGroupReps(swz, src);
-    for (int warp = 0; warp < srcWarps; ++warp) {
-        // Per lane: vec-window base -> (slot within window, payload).
-        std::vector<std::map<int64_t,
-                             std::vector<std::pair<int, uint64_t>>>>
-            held(static_cast<size_t>(srcLanes));
-        for (int lane = 0; lane < srcLanes; ++lane) {
-            for (int32_t reg = 0; reg < (1 << srcRegLog); ++reg) {
-                uint64_t in =
-                    static_cast<uint64_t>(reg) |
-                    (static_cast<uint64_t>(lane) << srcRegLog) |
-                    (static_cast<uint64_t>(warp)
-                     << (srcRegLog + srcLaneLog));
-                uint64_t off = offsetOf(src, in);
-                held[static_cast<size_t>(lane)]
-                    [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
-                        .emplace_back(static_cast<int>(off & vecMask),
-                                      srcFile[static_cast<size_t>(in)]);
-            }
-        }
-        for (int32_t rep : storeReps) {
-            auto offsets =
-                warpAccessOffsets(swz, src, rep, warp, srcLanes);
-            std::vector<std::vector<uint64_t>> values(
-                offsets.size(),
-                std::vector<uint64_t>(static_cast<size_t>(vec),
-                                      sim::SharedMemory::kPoison));
-            for (size_t lane = 0; lane < offsets.size(); ++lane) {
-                auto it = held[lane].find(offsets[lane]);
-                if (it == held[lane].end())
-                    continue;
-                for (const auto &[slot, payload] : it->second)
-                    values[lane][static_cast<size_t>(slot)] = payload;
-            }
-            smem.warpStore(offsets, vec, values, result.storeStats);
-        }
-    }
 
-    // --- load phase ----------------------------------------------------
     const int dstRegLog = dstAligned.getInDimSizeLog2(kReg);
     const int dstLaneLog = dstAligned.getInDimSizeLog2(kLane);
     const int dstWarps =
@@ -155,11 +238,35 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
         static_cast<size_t>(dstAligned.getTotalInDimSize()),
         sim::SharedMemory::kPoison);
     auto loadReps = registerGroupReps(swz, dstAligned);
+
+    // Per warp and lane: vec-window base -> (slot within window,
+    // payload) for stores, (slot, dst flat input) for loads. Built once;
+    // every pass reuses them.
+    using LaneMap =
+        std::map<int64_t, std::vector<std::pair<int, uint64_t>>>;
+    std::vector<std::vector<LaneMap>> held(
+        static_cast<size_t>(srcWarps),
+        std::vector<LaneMap>(static_cast<size_t>(srcLanes)));
+    for (int warp = 0; warp < srcWarps; ++warp) {
+        for (int lane = 0; lane < srcLanes; ++lane) {
+            for (int32_t reg = 0; reg < (1 << srcRegLog); ++reg) {
+                uint64_t in =
+                    static_cast<uint64_t>(reg) |
+                    (static_cast<uint64_t>(lane) << srcRegLog) |
+                    (static_cast<uint64_t>(warp)
+                     << (srcRegLog + srcLaneLog));
+                uint64_t off = offsetOf(src, in);
+                held[static_cast<size_t>(warp)][static_cast<size_t>(lane)]
+                    [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
+                        .emplace_back(static_cast<int>(off & vecMask),
+                                      srcFile[static_cast<size_t>(in)]);
+            }
+        }
+    }
+    std::vector<std::vector<LaneMap>> wanted(
+        static_cast<size_t>(dstWarps),
+        std::vector<LaneMap>(static_cast<size_t>(dstLanes)));
     for (int warp = 0; warp < dstWarps; ++warp) {
-        // Per lane: vec-window base -> (slot, dst flat input) readers.
-        std::vector<std::map<int64_t,
-                             std::vector<std::pair<int, uint64_t>>>>
-            wanted(static_cast<size_t>(dstLanes));
         for (int lane = 0; lane < dstLanes; ++lane) {
             for (int32_t reg = 0; reg < (1 << dstRegLog); ++reg) {
                 uint64_t in =
@@ -168,28 +275,97 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                     (static_cast<uint64_t>(warp)
                      << (dstRegLog + dstLaneLog));
                 uint64_t off = offsetOf(dstAligned, in);
-                wanted[static_cast<size_t>(lane)]
-                    [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
-                        .emplace_back(static_cast<int>(off & vecMask),
-                                      in);
+                wanted[static_cast<size_t>(warp)]
+                      [static_cast<size_t>(lane)]
+                      [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
+                          .emplace_back(static_cast<int>(off & vecMask),
+                                        in);
             }
         }
-        for (int32_t rep : loadReps) {
-            auto offsets =
-                warpAccessOffsets(swz, dstAligned, rep, warp, dstLanes);
-            auto loaded = smem.warpLoad(offsets, vec, result.loadStats);
-            for (size_t lane = 0; lane < offsets.size(); ++lane) {
-                auto it = wanted[lane].find(offsets[lane]);
-                if (it == wanted[lane].end())
+    }
+
+    for (int64_t pass = 0; pass < passes; ++pass) {
+        sim::SharedMemory smem(spec, elemBytes, alloc);
+
+        // --- store phase -----------------------------------------------
+        for (int warp = 0; warp < srcWarps; ++warp) {
+            for (int32_t rep : storeReps) {
+                auto offsets =
+                    warpAccessOffsets(swz, src, rep, warp, srcLanes);
+                std::vector<std::vector<uint64_t>> values(
+                    offsets.size(),
+                    std::vector<uint64_t>(static_cast<size_t>(vec),
+                                          sim::SharedMemory::kPoison));
+                for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                    if (faults.window || offsets[lane] < 0 ||
+                        offsets[lane] + vec > storage) {
+                        return makeExecDiag(
+                            ExecError::SharedWindowOverflow,
+                            "exec.shared.window",
+                            "store offset " +
+                                std::to_string(offsets[lane]) +
+                                " outside storage of " +
+                                std::to_string(storage));
+                    }
+                    const auto &laneMap =
+                        held[static_cast<size_t>(warp)][lane];
+                    auto it = laneMap.find(offsets[lane]);
+                    if (it == laneMap.end())
+                        continue;
+                    for (const auto &[slot, payload] : it->second)
+                        values[lane][static_cast<size_t>(slot)] = payload;
+                }
+                if (!maskToWindow(offsets, pass, alloc))
                     continue;
-                for (const auto &[slot, in] : it->second) {
-                    result.dstFile[static_cast<size_t>(in)] =
-                        loaded[lane][static_cast<size_t>(slot)];
+                smem.warpStore(offsets, vec, values, result.storeStats);
+            }
+        }
+
+        // --- load phase ------------------------------------------------
+        for (int warp = 0; warp < dstWarps; ++warp) {
+            for (int32_t rep : loadReps) {
+                auto offsets = warpAccessOffsets(swz, dstAligned, rep,
+                                                 warp, dstLanes);
+                auto global = offsets;
+                if (!maskToWindow(offsets, pass, alloc))
+                    continue;
+                auto loaded =
+                    smem.warpLoad(offsets, vec, result.loadStats);
+                for (size_t lane = 0; lane < offsets.size(); ++lane) {
+                    if (offsets[lane] == sim::kInactiveLane)
+                        continue;
+                    const auto &laneMap =
+                        wanted[static_cast<size_t>(warp)][lane];
+                    auto it = laneMap.find(global[lane]);
+                    if (it == laneMap.end())
+                        continue;
+                    for (const auto &[slot, in] : it->second) {
+                        result.dstFile[static_cast<size_t>(in)] =
+                            loaded[lane][static_cast<size_t>(slot)];
+                    }
                 }
             }
         }
     }
+
+    const int64_t instructions = result.storeStats.instructions +
+                                 result.loadStats.instructions;
+    const int64_t measured =
+        result.storeStats.wavefronts + result.loadStats.wavefronts;
+    const int lanes = std::max(srcLanes, dstLanes);
+    if (faults.bankBudget ||
+        measured >
+            bankBudget(instructions, lanes, vec * elemBytes, spec)) {
+        return makeExecDiag(
+            ExecError::BankBudgetExceeded, "exec.shared.bank-budget",
+            std::to_string(measured) +
+                " wavefronts exceed the full-serialization budget");
+    }
     return result;
+  } catch (const std::exception &e) {
+    return makeExecDiag(ExecError::ExecInternalError, "exec.shared",
+                        e.what());
+  }
 }
 
 } // namespace codegen

@@ -17,6 +17,7 @@
 #include "codegen/swizzle.h"
 #include "layout/linear_layout.h"
 #include "sim/memory_sim.h"
+#include "support/result.h"
 
 namespace ll {
 namespace codegen {
@@ -31,9 +32,15 @@ struct SharedConversionResult
 /**
  * Execute src -> shared(swz) -> dst for the whole tensor and verify
  * element placement. Layouts must be surjective over the same output
- * space; the tensor must fit in the CTA's shared memory.
+ * space. A windowed swizzle (windowElems > 0) is run in multiple
+ * store+load passes through one window-sized allocation, masking lanes
+ * whose offsets fall outside the current window. Total over any input:
+ * oversize allocations, out-of-window offsets, and blown bank-conflict
+ * budgets come back as ExecDiagnostics instead of aborting. Failpoint
+ * sites: "exec.shared.alloc", "exec.shared.window",
+ * "exec.shared.bank-budget".
  */
-SharedConversionResult
+Result<SharedConversionResult, ExecDiagnostic>
 executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                         const LinearLayout &dst, int elemBytes,
                         const sim::GpuSpec &spec);
@@ -58,9 +65,14 @@ struct SharedRoundTrip
  * surface as kPoison. This is the execution backend of the differential
  * oracle (src/check). Both layouts must have their input dims in
  * canonical (register, lane, warp) order; each side's warp size is its
- * own lane-dim size.
+ * own lane-dim size. Total over any input: a mismatched register file,
+ * an oversize allocation, an out-of-window offset, or a blown
+ * bank-conflict budget comes back as an ExecDiagnostic instead of
+ * aborting, so the engine can demote the plan. Failpoint sites:
+ * "exec.shared.file-size", "exec.shared.alloc", "exec.shared.window",
+ * "exec.shared.bank-budget".
  */
-SharedRoundTrip
+Result<SharedRoundTrip, ExecDiagnostic>
 runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &src,
                    const LinearLayout &dst,
                    const std::vector<uint64_t> &srcFile, int elemBytes,

@@ -167,23 +167,68 @@ WarpShufflePlan::countShuffleInstructions(int elemBytes) const
     return total;
 }
 
-std::vector<std::vector<uint64_t>>
+Result<std::vector<std::vector<uint64_t>>, ExecDiagnostic>
 WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
 {
-    llAssert(static_cast<int>(src.size()) == warpSize,
-             "execute: expected " << warpSize << " lanes");
+    // Execution is total: every surprise — malformed register file,
+    // corrupted plan — is reported as data so the engine can demote the
+    // conversion instead of aborting a long-running process.
+    if (LL_FAILPOINT("exec.shuffle.shape")) {
+        return makeExecDiag(ExecError::FailpointInjected,
+                            "exec.shuffle.shape",
+                            "failpoint forced a shape mismatch");
+    }
+    if (static_cast<int>(src.size()) != warpSize || warpSize <= 0) {
+        return makeExecDiag(ExecError::PlanShapeMismatch,
+                            "exec.shuffle.shape",
+                            "expected " + std::to_string(warpSize) +
+                                " lanes, got " +
+                                std::to_string(src.size()));
+    }
+    for (const auto &laneRegs : src) {
+        if (static_cast<int>(laneRegs.size()) < numRegsA) {
+            return makeExecDiag(
+                ExecError::PlanShapeMismatch, "exec.shuffle.shape",
+                "a lane holds " + std::to_string(laneRegs.size()) +
+                    " registers; the plan reads " +
+                    std::to_string(numRegsA));
+        }
+    }
     std::vector<std::vector<uint64_t>> dst(
         static_cast<size_t>(warpSize),
         std::vector<uint64_t>(static_cast<size_t>(numRegsB), ~uint64_t(0)));
+    const bool failLane = LL_FAILPOINT("exec.shuffle.lane-range");
+    const bool failReg = LL_FAILPOINT("exec.shuffle.reg-range");
     for (const auto &round : xfers) {
         for (size_t lane = 0; lane < round.size(); ++lane) {
+            if (lane >= static_cast<size_t>(warpSize)) {
+                return makeExecDiag(ExecError::PlanShapeMismatch,
+                                    "exec.shuffle.shape",
+                                    "round addresses more lanes than "
+                                    "the warp holds");
+            }
             const ShuffleXfer &x = round[lane];
-            llAssert(x.srcLane >= 0 && x.srcLane < warpSize,
-                     "invalid source lane");
-            for (const auto &[ra, rb] : x.regPairs)
+            if (failLane || x.srcLane < 0 || x.srcLane >= warpSize) {
+                return makeExecDiag(
+                    ExecError::LaneOutOfRange, "exec.shuffle.lane-range",
+                    "source lane " + std::to_string(x.srcLane) +
+                        " outside warp of " + std::to_string(warpSize));
+            }
+            for (const auto &[ra, rb] : x.regPairs) {
+                if (failReg || ra < 0 || ra >= numRegsA || rb < 0 ||
+                    rb >= numRegsB) {
+                    return makeExecDiag(
+                        ExecError::RegisterOutOfRange,
+                        "exec.shuffle.reg-range",
+                        "register pair (" + std::to_string(ra) + ", " +
+                            std::to_string(rb) + ") outside " +
+                            std::to_string(numRegsA) + "/" +
+                            std::to_string(numRegsB));
+                }
                 dst[lane][static_cast<size_t>(rb)] =
                     src[static_cast<size_t>(x.srcLane)]
                        [static_cast<size_t>(ra)];
+            }
         }
     }
     return dst;

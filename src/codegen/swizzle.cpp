@@ -409,30 +409,46 @@ planPaddedShared(const LinearLayout &a, const LinearLayout &b,
                             wrapped.diag().toString());
         }
         SwizzledShared swz = std::move(*wrapped);
-        // Pad by one bank word per 128-byte row (both multiples of the
-        // vectorization, so vec windows never straddle a pad).
+        // Search a small family of (padInterval, padElems) pairs — the
+        // classic one-bank-word-per-row pad plus half/double-row
+        // intervals and a doubled pad (all multiples of the
+        // vectorization, so vec windows never straddle a pad) — and
+        // keep the wavefront-cheapest pair that fits the CTA budget.
+        // The unswizzled flat layout is the baseline: a pad that does
+        // not measurably lower the enumerated totals is not adopted.
         const int vec = swz.vecElems();
         const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
         const int64_t rowElems = totalBankBytes / elemBytes;
         const int64_t numElems = a.getTotalOutDimSize();
-        if (vec * elemBytes < totalBankBytes && numElems > rowElems) {
-            SwizzledShared padded = swz;
-            padded.padInterval = rowElems;
-            padded.padElems = std::max<int64_t>(
+        if (vec * elemBytes < totalBankBytes && numElems > rowElems / 2) {
+            const int64_t basePad = std::max<int64_t>(
                 vec, spec.bankWidthBytes / elemBytes);
-            // Keep the pad only when it helps (the unswizzled layout is
-            // the baseline, and padding must not regress it) and the
-            // inflated allocation still fits the CTA budget.
-            if (sim::SharedMemory::fits(spec, elemBytes,
-                                        padded.storageElems(numElems))) {
-                int64_t flatWf =
-                    enumerateWavefronts(swz, a, elemBytes, spec) +
-                    enumerateWavefronts(swz, b, elemBytes, spec);
-                int64_t padWf =
-                    enumerateWavefronts(padded, a, elemBytes, spec) +
-                    enumerateWavefronts(padded, b, elemBytes, spec);
-                if (padWf < flatWf)
-                    swz = std::move(padded);
+            const int64_t intervals[] = {rowElems / 2, rowElems,
+                                         2 * rowElems};
+            const int64_t pads[] = {basePad, 2 * basePad};
+            int64_t bestWf =
+                enumerateWavefronts(swz, a, elemBytes, spec) +
+                enumerateWavefronts(swz, b, elemBytes, spec);
+            for (int64_t interval : intervals) {
+                if (interval < vec || interval % vec != 0 ||
+                    numElems <= interval)
+                    continue;
+                for (int64_t pad : pads) {
+                    SwizzledShared padded = swz;
+                    padded.padInterval = interval;
+                    padded.padElems = pad;
+                    if (!sim::SharedMemory::fits(
+                            spec, elemBytes,
+                            padded.storageElems(numElems)))
+                        continue;
+                    int64_t padWf =
+                        enumerateWavefronts(padded, a, elemBytes, spec) +
+                        enumerateWavefronts(padded, b, elemBytes, spec);
+                    if (padWf < bestWf) {
+                        bestWf = padWf;
+                        swz = padded;
+                    }
+                }
             }
         }
         return swz;
@@ -468,6 +484,22 @@ planScalarShared(const LinearLayout &a, const LinearLayout &b,
                               totalBankBytes / elemBytes));
         out.bankBits = std::min(bBits, d);
         out.idxBits = d - out.bankBits;
+        // The terminal rung must swallow tensors bigger than the CTA
+        // budget: window the allocation down to the largest power of
+        // two that fits and let the executors run multiple passes.
+        const int64_t numElems = a.getTotalOutDimSize();
+        if (!sim::SharedMemory::fits(spec, elemBytes, numElems)) {
+            int64_t window = 1;
+            while (window * 2 * elemBytes <= spec.sharedMemPerCta)
+                window *= 2;
+            if (!sim::SharedMemory::fits(spec, elemBytes, window)) {
+                return makeDiag(DiagCode::ScalarUnavailable,
+                                "plan.scalar",
+                                "CTA shared budget cannot hold even a "
+                                "one-element window");
+            }
+            out.windowElems = window;
+        }
         return out;
     } catch (const std::exception &e) {
         return makeDiag(DiagCode::ScalarUnavailable, "plan.scalar",
@@ -512,17 +544,37 @@ enumerateWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
     const int numWarps = dist.getInDimSize(dims::kWarp);
     const int accessBytes = swz.vecElems() * elemBytes;
     auto reps = registerGroupReps(swz, dist);
+    // Mirror the executors' windowed multi-pass schedule so the totals
+    // recorded on the plan match what the simulator will measure: each
+    // pass masks lanes whose offsets fall outside the current window and
+    // skips accesses with no active lane at all.
+    const int64_t numElems = swz.memLayout.getTotalInDimSize();
+    const int64_t window = swz.allocElems(numElems);
+    const int64_t passes = swz.passesFor(numElems);
     int64_t total = 0;
-    for (int warp = 0; warp < numWarps; ++warp) {
-        for (int32_t rep : reps) {
-            auto offsets =
-                warpAccessOffsets(swz, dist, rep, warp, warpSize);
-            std::vector<int64_t> byteAddrs;
-            byteAddrs.reserve(offsets.size());
-            for (int64_t o : offsets)
-                byteAddrs.push_back(o * elemBytes);
-            total += sim::SharedMemory::countWavefronts(spec, byteAddrs,
-                                                        accessBytes);
+    for (int64_t pass = 0; pass < passes; ++pass) {
+        const int64_t lo = pass * window;
+        for (int warp = 0; warp < numWarps; ++warp) {
+            for (int32_t rep : reps) {
+                auto offsets =
+                    warpAccessOffsets(swz, dist, rep, warp, warpSize);
+                std::vector<int64_t> byteAddrs;
+                byteAddrs.reserve(offsets.size());
+                bool anyActive = false;
+                for (int64_t o : offsets) {
+                    if (swz.windowed() && (o < lo || o >= lo + window)) {
+                        byteAddrs.push_back(sim::kInactiveLane);
+                    } else {
+                        byteAddrs.push_back(
+                            (swz.windowed() ? o - lo : o) * elemBytes);
+                        anyActive = true;
+                    }
+                }
+                if (!anyActive)
+                    continue;
+                total += sim::SharedMemory::countWavefronts(
+                    spec, byteAddrs, accessBytes);
+            }
         }
     }
     return total;

@@ -22,6 +22,7 @@
 #ifndef LL_CODEGEN_SWIZZLE_H
 #define LL_CODEGEN_SWIZZLE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -56,8 +57,19 @@ struct SwizzledShared
     int64_t padInterval = 0;
     int64_t padElems = 0;
 
+    /**
+     * Multi-pass window (the scalar rung's answer to the CTA budget):
+     * when > 0, the executors allocate only windowElems storage cells
+     * and run ceil(storage / windowElems) store+load passes, masking
+     * lanes whose offsets fall outside the current window
+     * (sim::kInactiveLane). 0 means one pass over the whole tensor.
+     * Always a power of two and a multiple of vecElems().
+     */
+    int64_t windowElems = 0;
+
     int vecElems() const { return 1 << vecBits; }
     bool padded() const { return padInterval > 0 && padElems > 0; }
+    bool windowed() const { return windowElems > 0; }
 
     /** Linear offset -> storage offset (identity when unpadded). */
     int64_t
@@ -81,6 +93,24 @@ struct SwizzledShared
     storageElems(int64_t numElems) const
     {
         return padded() ? padOffset(numElems - 1) + 1 : numElems;
+    }
+
+    /** Cells the executors actually allocate (one window when
+     *  windowed, the whole tensor otherwise). */
+    int64_t
+    allocElems(int64_t numElems) const
+    {
+        int64_t storage = storageElems(numElems);
+        return windowed() ? std::min(windowElems, storage) : storage;
+    }
+
+    /** Store+load passes the executors run over numElems elements. */
+    int64_t
+    passesFor(int64_t numElems) const
+    {
+        int64_t storage = storageElems(numElems);
+        int64_t window = allocElems(numElems);
+        return window > 0 ? (storage + window - 1) / window : 1;
     }
 };
 

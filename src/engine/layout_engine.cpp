@@ -387,33 +387,82 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         }
         const auto &type = f.value(o.results[0]).type;
         int elemBytes = std::max(1, bitWidth(type.dtype) / 8);
-        auto plan = [&]() -> Result<codegen::ConversionPlan> {
+        LinearLayout dst = want->transposeOuts(have->getOutDimNames());
+        auto tryPlan = [&]() -> Result<codegen::ConversionPlan> {
             try {
-                return codegen::tryPlanConversion(
-                    *have, want->transposeOuts(have->getOutDimNames()),
-                    elemBytes, options_.spec);
+                return codegen::tryPlanConversion(*have, dst, elemBytes,
+                                                  options_.spec);
             } catch (const std::exception &e) {
                 return makeDiag(DiagCode::PlannerInternalError,
                                 "engine.plan",
                                 std::string("planner threw: ") +
                                     e.what());
             }
-        }();
-        if (plan.ok()) {
-            o.tag = "convert:" + codegen::toString(plan->kind);
-            ++stats.convertsPlanned;
-            if (!plan->diagnostics.empty()) {
-                ++stats.planFallbacks;
-                stats.planDiagnostics.push_back(
-                    "op " + std::to_string(i) + " (" + o.tag +
-                    "): " + plan->diagnostics.toString());
-            }
-        } else {
+        };
+        auto plan = tryPlan();
+        if (!plan.ok()) {
             o.tag = "convert:unplanned";
             ++stats.planFailures;
             stats.planDiagnostics.push_back(
                 "op " + std::to_string(i) + ": " +
                 plan.diag().toString());
+            continue;
+        }
+
+        // Execution-triggered demotion: smoke-execute the plan; when an
+        // executor reports an ExecDiagnostic, knock out every planning
+        // rung at or above the failing plan's and re-plan one rung
+        // further down. The knockout sets grow strictly toward the
+        // terminal scalar rung, so this loop terminates.
+        bool execDead = false;
+        while (true) {
+            auto fail = codegen::smokeExecutePlan(
+                *plan, *have, dst, elemBytes, options_.spec);
+            if (!fail.has_value())
+                break;
+            stats.planDiagnostics.push_back(
+                "op " + std::to_string(i) + " (convert:" +
+                codegen::toString(plan->kind) +
+                "): execution failed: " + fail->toString());
+            auto knockout = codegen::demotionSitesFor(plan->kind);
+            if (knockout.empty()) {
+                // Terminal rung failed while executing: nothing below
+                // it to demote to.
+                execDead = true;
+                break;
+            }
+            auto replanned = [&]() {
+                failpoint::ScopedSet guard(std::move(knockout));
+                return tryPlan();
+            }();
+            if (!replanned.ok()) {
+                stats.planDiagnostics.push_back(
+                    "op " + std::to_string(i) +
+                    ": demoted re-plan failed: " +
+                    replanned.diag().toString());
+                execDead = true;
+                break;
+            }
+            ++stats.execFallbacks;
+            plan = std::move(replanned);
+            stats.planDiagnostics.push_back(
+                "op " + std::to_string(i) + ": demoted to convert:" +
+                codegen::toString(plan->kind) +
+                " after execution failure");
+        }
+        if (execDead) {
+            o.tag = "convert:unplanned";
+            ++stats.execFailures;
+            continue;
+        }
+
+        o.tag = "convert:" + codegen::toString(plan->kind);
+        ++stats.convertsPlanned;
+        if (!plan->diagnostics.empty()) {
+            ++stats.planFallbacks;
+            stats.planDiagnostics.push_back(
+                "op " + std::to_string(i) + " (" + o.tag +
+                "): " + plan->diagnostics.toString());
         }
     }
 }

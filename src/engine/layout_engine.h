@@ -48,6 +48,14 @@ struct EngineStats
     /** Shape-transfer functions that threw (or were failpointed via
      *  "engine.transfer") and fell back to the anchor layout. */
     int transferFallbacks = 0;
+    /** Conversions whose smoke execution failed and were successfully
+     *  re-planned one rung further down the ladder (counted once per
+     *  demotion step, so one op can contribute several). */
+    int execFallbacks = 0;
+    /** Conversions whose execution failed with no rung left to demote
+     *  to (or whose demoted re-plan failed); the op is tagged
+     *  "convert:unplanned" and the engine carries on. */
+    int execFailures = 0;
     /** Human-readable notes from every fallback or failure, in op
      *  order. */
     std::vector<std::string> planDiagnostics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 namespace ll {
@@ -17,6 +18,20 @@ struct SiteState
     int64_t hits = 0;
 };
 
+/**
+ * One mutex guards every registry entry point so multi-threaded engine
+ * work (and the concurrency smoke test) cannot race the site map. The
+ * lock is taken once per public function; the *Locked helpers below
+ * assume it is already held, which keeps ensureEnvParsedLocked's calls
+ * into activation non-recursive.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 std::map<std::string, SiteState> &
 registry()
 {
@@ -24,10 +39,18 @@ registry()
     return sites;
 }
 
+void
+activateLocked(const std::string &site, int64_t limit)
+{
+    SiteState &s = registry()[site];
+    s.active = true;
+    s.remaining = limit;
+}
+
 /** Parse LL_FAILPOINTS once, on first registry use. clearAll() does not
  *  re-trigger parsing — tests own the registry after touching it. */
 void
-ensureEnvParsed()
+ensureEnvParsedLocked()
 {
     static bool parsed = false;
     if (parsed)
@@ -48,7 +71,7 @@ ensureEnvParsed()
             tok.resize(colon);
         }
         if (!tok.empty())
-            activate(tok, limit);
+            activateLocked(tok, limit);
     }
 }
 
@@ -57,7 +80,8 @@ ensureEnvParsed()
 bool
 shouldFail(const std::string &site)
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
     SiteState &s = registry()[site];
     ++s.hits;
     if (!s.active)
@@ -72,16 +96,16 @@ shouldFail(const std::string &site)
 void
 activate(const std::string &site, int64_t limit)
 {
-    ensureEnvParsed();
-    SiteState &s = registry()[site];
-    s.active = true;
-    s.remaining = limit;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
+    activateLocked(site, limit);
 }
 
 void
 deactivate(const std::string &site)
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
     SiteState &s = registry()[site];
     s.active = false;
     s.remaining = -1;
@@ -90,14 +114,16 @@ deactivate(const std::string &site)
 void
 clearAll()
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
     registry().clear();
 }
 
 int64_t
 hitCount(const std::string &site)
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
     auto it = registry().find(site);
     return it == registry().end() ? 0 : it->second.hits;
 }
@@ -105,7 +131,8 @@ hitCount(const std::string &site)
 std::vector<std::string>
 activeSites()
 {
-    ensureEnvParsed();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
     std::vector<std::string> out;
     for (const auto &[name, state] : registry()) {
         if (state.active && state.remaining != 0)

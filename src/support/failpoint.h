@@ -10,10 +10,11 @@
  * forcing "plan.optimal-swizzle" off, say, proves the padded rung is
  * live and oracle-clean, without hand-crafting pathological layouts.
  *
- * Activation is process-global and single-threaded (like the rest of
- * this library). Sites are plain strings so adding one requires no
- * central registration; `hitCount` lets tests assert a guard is actually
- * wired into the code path they think it is.
+ * Activation is process-global; the site map is guarded by a mutex so
+ * concurrent register/hit/clear calls are safe (a prerequisite for the
+ * multi-threaded engine work on the roadmap). Sites are plain strings
+ * so adding one requires no central registration; `hitCount` lets tests
+ * assert a guard is actually wired into the code path they think it is.
  *
  * Environment syntax: LL_FAILPOINTS="site-a,site-b:3" activates site-a
  * until deactivated and site-b for its next 3 guard evaluations.

@@ -24,12 +24,62 @@ toString(DiagCode code)
         return "padded-unavailable";
       case DiagCode::ScalarUnavailable:
         return "scalar-unavailable";
+      case DiagCode::CtaBudgetExceeded:
+        return "cta-budget-exceeded";
       case DiagCode::FailpointInjected:
         return "failpoint-injected";
+      case DiagCode::ExecutionFailed:
+        return "execution-failed";
       case DiagCode::PlannerInternalError:
         return "planner-internal-error";
     }
     return "unknown";
+}
+
+std::string
+toString(ExecError code)
+{
+    switch (code) {
+      case ExecError::PlanShapeMismatch:
+        return "plan-shape-mismatch";
+      case ExecError::LaneOutOfRange:
+        return "lane-out-of-range";
+      case ExecError::RegisterOutOfRange:
+        return "register-out-of-range";
+      case ExecError::NonInvertibleStep:
+        return "non-invertible-step";
+      case ExecError::CrossWarpSource:
+        return "cross-warp-source";
+      case ExecError::SharedWindowOverflow:
+        return "shared-window-overflow";
+      case ExecError::BankBudgetExceeded:
+        return "bank-budget-exceeded";
+      case ExecError::UnfilledSlot:
+        return "unfilled-slot";
+      case ExecError::FailpointInjected:
+        return "failpoint-injected";
+      case ExecError::ExecInternalError:
+        return "exec-internal-error";
+    }
+    return "unknown";
+}
+
+std::string
+ExecDiagnostic::toString() const
+{
+    std::ostringstream os;
+    os << "[" << stage << "] " << ll::toString(code);
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
+Diagnostic
+ExecDiagnostic::toDiagnostic() const
+{
+    return makeDiag(DiagCode::ExecutionFailed, stage,
+                    ll::toString(code) +
+                        (message.empty() ? "" : ": " + message));
 }
 
 std::string

@@ -34,7 +34,9 @@ enum class DiagCode
     TileMismatch,            ///< ldmatrix/stmatrix tile does not divide
     PaddedUnavailable,       ///< padded shared rung failed
     ScalarUnavailable,       ///< scalar shared rung failed (terminal)
+    CtaBudgetExceeded,       ///< allocation exceeds the CTA shared budget
     FailpointInjected,       ///< a failpoint forced this stage off
+    ExecutionFailed,         ///< a built plan failed while executing
     PlannerInternalError,    ///< unexpected exception inside a stage
 };
 
@@ -58,16 +60,59 @@ makeDiag(DiagCode code, std::string stage, std::string message)
 }
 
 /**
- * Value-or-Diagnostic. Deliberately exposes the std::optional accessor
+ * Stable identifiers for why an *executor* failed at runtime. Planning
+ * codes (DiagCode) describe why a rung was not built; these describe
+ * why a built plan could not be run — a different failure domain with
+ * a different consumer (the engine's execution-triggered demotion).
+ */
+enum class ExecError
+{
+    PlanShapeMismatch,     ///< register file shape disagrees with the plan
+    LaneOutOfRange,        ///< shuffle/gather source lane outside the warp
+    RegisterOutOfRange,    ///< register index outside the file
+    NonInvertibleStep,     ///< a layout inversion the plan relied on failed
+    CrossWarpSource,       ///< intra-warp plan asked for another warp's data
+    SharedWindowOverflow,  ///< shared offset outside the allocated window
+    BankBudgetExceeded,    ///< measured wavefronts blew the conflict budget
+    UnfilledSlot,          ///< a destination slot was never written
+    FailpointInjected,     ///< a failpoint forced this execution site off
+    ExecInternalError,     ///< unexpected exception inside an executor
+};
+
+std::string toString(ExecError code);
+
+/** One structured execution-failure note: what failed, where, and why. */
+struct ExecDiagnostic
+{
+    ExecError code = ExecError::ExecInternalError;
+    /** Executor stage/failpoint site ("exec.shuffle.lane-range", ...). */
+    std::string stage;
+    std::string message;
+
+    std::string toString() const;
+    /** Bridge into planner diagnostics (DiagCode::ExecutionFailed). */
+    Diagnostic toDiagnostic() const;
+};
+
+inline ExecDiagnostic
+makeExecDiag(ExecError code, std::string stage, std::string message)
+{
+    return ExecDiagnostic{code, std::move(stage), std::move(message)};
+}
+
+/**
+ * Value-or-error. Deliberately exposes the std::optional accessor
  * surface (has_value / operator bool / * / ->) so call sites written
  * against the old optional-returning planner APIs compile unchanged.
+ * The error type defaults to Diagnostic (planning); executors return
+ * Result<T, ExecDiagnostic>.
  */
-template <typename T>
+template <typename T, typename E = Diagnostic>
 class Result
 {
   public:
     Result(T value) : value_(std::move(value)) {} // NOLINT(implicit)
-    Result(Diagnostic diag) : diag_(std::move(diag)) {} // NOLINT(implicit)
+    Result(E diag) : diag_(std::move(diag)) {} // NOLINT(implicit)
 
     bool ok() const { return value_.has_value(); }
     bool has_value() const { return value_.has_value(); }
@@ -91,11 +136,11 @@ class Result
     const T *operator->() const { return &value(); }
 
     /** The failure note; meaningful only when !ok(). */
-    const Diagnostic &diag() const { return diag_; }
+    const E &diag() const { return diag_; }
 
   private:
     std::optional<T> value_;
-    Diagnostic diag_;
+    E diag_;
 };
 
 /** Accumulated per-stage notes explaining how a plan was reached. */

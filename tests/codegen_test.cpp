@@ -177,7 +177,8 @@ TEST_P(SwizzlePairs, ConversionThroughSharedIsCorrect)
     auto swz = computeOptimalSwizzle(a, b, 2, spec_);
     EXPECT_TRUE(swz.memLayout.isInvertible());
     auto result = executeSharedConversion(swz, a, b, 2, spec_);
-    EXPECT_TRUE(result.correct) << "a=" << ai << " b=" << bi;
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    EXPECT_TRUE(result->correct) << "a=" << ai << " b=" << bi;
 }
 
 TEST_P(SwizzlePairs, AnalyticWavefrontsMatchSimulator)
@@ -226,7 +227,8 @@ TEST(Swizzle, TransposeConversionIsConflictFree)
 
     auto result = executeSharedConversion(swz, rowMajor, colMajor, 1,
                                           spec);
-    EXPECT_TRUE(result.correct);
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    EXPECT_TRUE(result->correct);
 }
 
 TEST(Swizzle, VectorizationIsMaximal)
@@ -252,11 +254,12 @@ TEST(Swizzle, SubWordTransposeIsConflictFreeEndToEnd)
     auto dst = blocked({16, 1}, {16, 2}, {2, 2}, {0, 1}, shape);
     auto swz = computeOptimalSwizzle(src, dst, 1, spec);
     auto result = executeSharedConversion(swz, src, dst, 1, spec);
-    EXPECT_TRUE(result.correct);
-    EXPECT_EQ(result.storeStats.wavefronts,
-              result.storeStats.transactions);
-    EXPECT_EQ(result.loadStats.wavefronts,
-              result.loadStats.transactions);
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    EXPECT_TRUE(result->correct);
+    EXPECT_EQ(result->storeStats.wavefronts,
+              result->storeStats.transactions);
+    EXPECT_EQ(result->loadStats.wavefronts,
+              result->loadStats.transactions);
 }
 
 TEST(Swizzle, ExecutedWavefrontsMatchAnalyticAcrossPairs)
@@ -268,14 +271,15 @@ TEST(Swizzle, ExecutedWavefrontsMatchAnalyticAcrossPairs)
     const int elemBytes = 2;
     auto swz = computeOptimalSwizzle(a, b, elemBytes, spec);
     auto result = executeSharedConversion(swz, a, b, elemBytes, spec);
-    ASSERT_TRUE(result.correct);
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    ASSERT_TRUE(result->correct);
     // Totals = per-access analytic count x number of accesses.
-    int64_t storeAccesses = result.storeStats.instructions;
-    int64_t loadAccesses = result.loadStats.instructions;
-    EXPECT_EQ(result.storeStats.wavefronts,
+    int64_t storeAccesses = result->storeStats.instructions;
+    int64_t loadAccesses = result->loadStats.instructions;
+    EXPECT_EQ(result->storeStats.wavefronts,
               analyticWavefronts(swz, a, elemBytes, spec) *
                   storeAccesses);
-    EXPECT_EQ(result.loadStats.wavefronts,
+    EXPECT_EQ(result->loadStats.wavefronts,
               analyticWavefronts(swz, b, elemBytes, spec) *
                   loadAccesses);
 }
@@ -290,7 +294,8 @@ TEST(Swizzle, UnavoidableConflictsAreDetectedButCorrect)
     auto spec = sim::GpuSpec::gh200();
     auto swz = computeOptimalSwizzle(a, b, 4, spec);
     auto result = executeSharedConversion(swz, a, b, 4, spec);
-    EXPECT_TRUE(result.correct);
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    EXPECT_TRUE(result->correct);
 }
 
 // ----------------------------------------------------------------------
@@ -314,7 +319,9 @@ verifyShufflePlan(const LinearLayout &a, const LinearLayout &b,
             src[static_cast<size_t>(lane)].push_back(a.applyFlat(in));
         }
     }
-    auto dst = plan.execute(src);
+    auto dstOr = plan.execute(src);
+    ASSERT_TRUE(dstOr.ok()) << dstOr.diag().toString();
+    auto &dst = *dstOr;
     LinearLayout bAligned = b.transposeOuts(a.getOutDimNames());
     for (int lane = 0; lane < warpSize; ++lane) {
         for (int reg = 0; reg < plan.numRegsB; ++reg) {
@@ -460,7 +467,8 @@ TEST(Conversion, SelectsCheapestKind)
     ASSERT_TRUE(planC.shared.has_value());
     auto result =
         executeSharedConversion(*planC.shared, a, c, 2, spec);
-    EXPECT_TRUE(result.correct);
+    ASSERT_TRUE(result.ok()) << result.diag().toString();
+    EXPECT_TRUE(result->correct);
 }
 
 TEST(Conversion, CostOrderingMatchesIntuition)
@@ -488,8 +496,9 @@ TEST(Conversion, BroadcastLayoutsFallBackToShared)
     auto plan = planConversion(a, b, 2, spec);
     EXPECT_EQ(plan.kind, ConversionKind::SharedMemory);
     ASSERT_TRUE(plan.shared.has_value());
-    EXPECT_TRUE(
-        executeSharedConversion(*plan.shared, a, b, 2, spec).correct);
+    auto rb = executeSharedConversion(*plan.shared, a, b, 2, spec);
+    ASSERT_TRUE(rb.ok()) << rb.diag().toString();
+    EXPECT_TRUE(rb->correct);
 }
 
 TEST(Conversion, LdmatrixDetectedOnHopper)
@@ -545,7 +554,9 @@ TEST(Gather, WarpLocalPlanAndExecution)
             idx[lane].push_back(7 - coords[0].second); // reverse dim1
         }
     }
-    auto out = executeGather(*plan, l, 0, regs, idx);
+    auto outOr = executeGather(*plan, l, 0, regs, idx);
+    ASSERT_TRUE(outOr.ok()) << outOr.diag().toString();
+    auto &out = *outOr;
     for (int lane = 0; lane < 32; ++lane) {
         for (int reg = 0; reg < numRegs; ++reg) {
             auto coords =

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Execution-triggered demotion: every executor failure path, forced via
+ * the exec.* failpoint sites, must push the planner one rung down the
+ * ladder and leave a demoted plan that still round-trips bit-exactly
+ * under the oracle, at a modeled cost no lower than the plan it
+ * replaced. Also covers the CTA-budget gate (an oversized tensor demotes
+ * to a windowed scalar plan instead of raising UserError), the padding
+ * search regression pins, and the engine-level execFallbacks /
+ * execFailures accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/case_io.h"
+#include "check/generators.h"
+#include "check/oracle.h"
+#include "codegen/conversion.h"
+#include "codegen/gather.h"
+#include "engine/layout_engine.h"
+#include "ir/function.h"
+#include "layout/dims.h"
+#include "support/failpoint.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace {
+
+using check::ConversionCase;
+using check::DemotionReport;
+using codegen::ConversionKind;
+
+struct CorpusEntry
+{
+    std::string file; ///< basename, for failure messages
+    ConversionCase c;
+};
+
+const std::vector<CorpusEntry> &
+corpus()
+{
+    static const std::vector<CorpusEntry> entries = [] {
+        std::vector<std::string> paths;
+        for (const auto &e :
+             std::filesystem::directory_iterator(LL_CORPUS_DIR)) {
+            if (e.path().extension() == ".txt")
+                paths.push_back(e.path().string());
+        }
+        std::sort(paths.begin(), paths.end());
+        std::vector<CorpusEntry> out;
+        for (const auto &p : paths) {
+            out.push_back({std::filesystem::path(p).filename().string(),
+                           check::readCaseFile(p)});
+        }
+        return out;
+    }();
+    return entries;
+}
+
+LinearLayout
+blocked(const triton::Shape &spt, const triton::Shape &tpw,
+        const triton::Shape &wpc, const std::vector<int32_t> &order,
+        const triton::Shape &shape)
+{
+    triton::BlockedEncoding enc;
+    enc.sizePerThread = spt;
+    enc.threadsPerWarp = tpw;
+    enc.warpsPerCta = wpc;
+    enc.order = order;
+    return enc.toLinearLayout(shape);
+}
+
+std::vector<std::string>
+forceShared()
+{
+    return {"plan.noop", "plan.register-permute", "plan.warp-shuffle"};
+}
+
+codegen::ConversionPlan
+planWith(const ConversionCase &c, const std::vector<std::string> &sites)
+{
+    failpoint::ScopedSet guard(sites);
+    return codegen::planConversion(c.src, c.dst, c.elemBytes, c.spec());
+}
+
+/** A conversion that plans to WarpShuffle on gh200 (verified by the
+ *  codegen tests): same warp tiling, different thread/register split. */
+ConversionCase
+shuffleCase()
+{
+    ConversionCase c;
+    c.src = blocked({1, 4}, {8, 4}, {2, 2}, {1, 0}, {16, 64});
+    c.dst = blocked({4, 1}, {2, 16}, {2, 2}, {1, 0}, {16, 64});
+    c.elemBytes = 2;
+    c.summary = "deterministic warp-shuffle conversion";
+    return c;
+}
+
+int
+rung(ConversionKind k)
+{
+    return static_cast<int>(k);
+}
+
+TEST(ExecFallback, SitePoolIsCompleteAndDisjointFromPlannerSites)
+{
+    auto exec = codegen::executionFailpointSites();
+    EXPECT_EQ(exec.size(), 10u);
+    auto planner = codegen::plannerFailpointSites();
+    for (const auto &s : exec) {
+        EXPECT_EQ(s.rfind("exec.", 0), 0u) << s;
+        EXPECT_EQ(std::count(exec.begin(), exec.end(), s), 1) << s;
+        EXPECT_EQ(std::count(planner.begin(), planner.end(), s), 0) << s;
+    }
+}
+
+// Cumulative knockout sets: each demotion step disables strictly more
+// rungs, so the engine's demotion loop must terminate; the terminal
+// scalar rung has nowhere left to go.
+TEST(ExecFallback, DemotionSitesGrowStrictlyDownTheLadder)
+{
+    const ConversionKind ladder[] = {
+        ConversionKind::NoOp,          ConversionKind::RegisterPermute,
+        ConversionKind::WarpShuffle,   ConversionKind::SharedMemory,
+        ConversionKind::SharedPadded,
+    };
+    size_t prev = 0;
+    for (ConversionKind k : ladder) {
+        auto sites = codegen::demotionSitesFor(k);
+        EXPECT_GT(sites.size(), prev) << toString(k);
+        prev = sites.size();
+    }
+    EXPECT_TRUE(codegen::demotionSitesFor(ConversionKind::SharedScalar)
+                    .empty());
+}
+
+// Each exec.shared.* site, forced for exactly one execution over every
+// corpus case (driven onto the shared rung), must trigger exactly one
+// demotion whose surviving plan is strictly lower on the ladder,
+// oracle-clean, and no cheaper than the plan it replaced. A case whose
+// forced plan already sits on the terminal scalar rung must fail
+// terminally instead — the designed engine-failure outcome.
+TEST(ExecFallback, SharedExecSitesDemoteBitExactOverCorpus)
+{
+    const std::vector<std::string> sites = {
+        "exec.shared.file-size", "exec.shared.alloc",
+        "exec.shared.window", "exec.shared.bank-budget"};
+    for (const auto &site : sites) {
+        int fired = 0;
+        for (const auto &e : corpus()) {
+            ConversionCase c = e.c;
+            c.failpoints = forceShared();
+            auto original = planWith(c, c.failpoints);
+
+            failpoint::activate(site, 1);
+            DemotionReport dr = check::checkCaseWithDemotion(c);
+            failpoint::deactivate(site);
+
+            EXPECT_EQ(dr.initialKind, original.kind) << e.file;
+            if (dr.initialKind == ConversionKind::SharedScalar) {
+                EXPECT_FALSE(dr.survived) << e.file << " with " << site;
+                continue;
+            }
+            ++fired;
+            EXPECT_TRUE(dr.survived) << e.file << " with " << site;
+            EXPECT_EQ(dr.demotions, 1) << e.file << " with " << site;
+            EXPECT_GT(rung(dr.finalKind), rung(dr.initialKind))
+                << e.file << ": " << toString(dr.initialKind) << " -> "
+                << toString(dr.finalKind);
+            EXPECT_TRUE(dr.report.ok())
+                << e.file << " with " << site << ": "
+                << dr.report.toString();
+
+            // Demotion may only raise the modeled cost (the original
+            // rung was preferred for a reason).
+            auto demoted =
+                planWith(c, codegen::demotionSitesFor(original.kind));
+            const auto spec = c.spec();
+            EXPECT_LE(original.estimateCycles(c.src, c.elemBytes, spec),
+                      demoted.estimateCycles(c.src, c.elemBytes, spec))
+                << e.file << ": " << toString(original.kind) << " vs "
+                << toString(demoted.kind);
+        }
+        EXPECT_GE(fired, 1) << site << " never reached a demotable plan";
+    }
+}
+
+// The exec.shuffle.* sites, forced on a conversion that plans to the
+// shuffle rung, demote it onto a shared rung that still routes every
+// element correctly.
+TEST(ExecFallback, ShuffleExecSitesDemoteToOracleCleanSharedPlan)
+{
+    const std::vector<std::string> sites = {
+        "exec.shuffle.shape", "exec.shuffle.lane-range",
+        "exec.shuffle.reg-range"};
+    ConversionCase c = shuffleCase();
+    {
+        auto plan = planWith(c, {});
+        ASSERT_EQ(plan.kind, ConversionKind::WarpShuffle)
+            << "fixture no longer plans to the shuffle rung";
+    }
+    for (const auto &site : sites) {
+        failpoint::activate(site, 1);
+        DemotionReport dr = check::checkCaseWithDemotion(c);
+        failpoint::deactivate(site);
+
+        EXPECT_EQ(dr.initialKind, ConversionKind::WarpShuffle) << site;
+        EXPECT_TRUE(dr.survived) << site;
+        EXPECT_EQ(dr.demotions, 1) << site;
+        EXPECT_GT(rung(dr.finalKind), rung(ConversionKind::WarpShuffle))
+            << site << ": demoted to " << toString(dr.finalKind);
+        EXPECT_TRUE(dr.report.ok()) << site << ": "
+                                    << dr.report.toString();
+    }
+
+    // Demotion invariants must also hold wherever a shuffle plan occurs
+    // naturally in the corpus.
+    for (const auto &site : sites) {
+        for (const auto &e : corpus()) {
+            if (planWith(e.c, {}).kind != ConversionKind::WarpShuffle)
+                continue;
+            failpoint::activate(site, 1);
+            DemotionReport dr = check::checkCaseWithDemotion(e.c);
+            failpoint::deactivate(site);
+            EXPECT_TRUE(dr.survived) << e.file << " with " << site;
+            EXPECT_EQ(dr.demotions, 1) << e.file << " with " << site;
+            EXPECT_TRUE(dr.report.ok())
+                << e.file << " with " << site << ": "
+                << dr.report.toString();
+        }
+    }
+}
+
+// The gather executor is not part of the conversion ladder, so its
+// error paths are proven reachable directly: each forced site must fail
+// that one execution with a structured ExecDiagnostic naming the site,
+// and the immediately following clean run must succeed.
+TEST(ExecFallback, GatherExecSitesFailOnceThenRecover)
+{
+    auto spec = sim::GpuSpec::gh200();
+    auto layout = blocked({1, 8}, {32, 1}, {1, 1}, {1, 0}, {32, 8});
+    auto plan = codegen::planGather(layout, 1, spec);
+    ASSERT_TRUE(plan.has_value());
+
+    std::vector<std::vector<uint64_t>> regs(
+        static_cast<size_t>(plan->warpSize));
+    std::vector<std::vector<int32_t>> idx(
+        static_cast<size_t>(plan->warpSize));
+    for (int lane = 0; lane < plan->warpSize; ++lane) {
+        for (int reg = 0; reg < plan->numRegs; ++reg) {
+            regs[static_cast<size_t>(lane)].push_back(
+                static_cast<uint64_t>(lane * plan->numRegs + reg));
+            idx[static_cast<size_t>(lane)].push_back(reg);
+        }
+    }
+
+    for (const std::string site : {"exec.gather.invert",
+                                   "exec.gather.index-range",
+                                   "exec.gather.cross-warp"}) {
+        failpoint::activate(site, 1);
+        auto forced = codegen::executeGather(*plan, layout, 0, regs, idx);
+        failpoint::deactivate(site);
+        ASSERT_FALSE(forced.ok()) << site << " did not fire";
+        EXPECT_EQ(forced.diag().stage, site);
+
+        auto clean = codegen::executeGather(*plan, layout, 0, regs, idx);
+        ASSERT_TRUE(clean.ok())
+            << site << ": " << clean.diag().toString();
+        // Identity index tensor: the gather must reproduce the input.
+        for (int lane = 0; lane < plan->warpSize; ++lane) {
+            for (int reg = 0; reg < plan->numRegs; ++reg) {
+                EXPECT_EQ((*clean)[static_cast<size_t>(lane)]
+                                  [static_cast<size_t>(reg)],
+                          regs[static_cast<size_t>(lane)]
+                              [static_cast<size_t>(reg)])
+                    << site << " lane " << lane << " reg " << reg;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// CTA budget (satellite: oversized tensors demote, not abort)
+// ----------------------------------------------------------------------
+
+// 256 x 256 x f32 = 256 KiB exceeds the GH200 CTA budget (228 KiB), so
+// every flat shared candidate is gated by DiagCode::CtaBudgetExceeded
+// and the planner must land on the windowed scalar rung — still a total
+// function, still bit-exact under the oracle.
+TEST(ExecFallback, OversizedTensorDemotesToWindowedScalar)
+{
+    auto spec = sim::GpuSpec::gh200();
+    auto src = blocked({1, 4}, {8, 4}, {2, 2}, {1, 0}, {256, 256});
+    auto dst = blocked({4, 1}, {4, 8}, {2, 2}, {0, 1}, {256, 256});
+    const int elemBytes = 4;
+
+    auto plan = codegen::tryPlanConversion(src, dst, elemBytes, spec);
+    ASSERT_TRUE(plan.ok()) << plan.diag().toString();
+    EXPECT_EQ(plan->kind, ConversionKind::SharedScalar);
+    ASSERT_TRUE(plan->shared.has_value());
+    EXPECT_TRUE(plan->shared->windowed());
+    EXPECT_LE(plan->shared->allocElems(src.getTotalOutDimSize()) *
+                  elemBytes,
+              static_cast<int64_t>(spec.sharedMemPerCta));
+    EXPECT_GE(plan->shared->passesFor(src.getTotalOutDimSize()), 2);
+
+    bool sawBudgetDiag = false;
+    for (const auto &n : plan->diagnostics.notes)
+        sawBudgetDiag |= n.code == DiagCode::CtaBudgetExceeded;
+    EXPECT_TRUE(sawBudgetDiag) << plan->diagnostics.toString();
+
+    // The multi-pass execution must still route every element and keep
+    // its wavefront totals honest (Lemma 9.4's per-access audit is
+    // unavailable for windowed plans; the totals audit covers them).
+    auto report = check::checkPlan(*plan, src, dst, elemBytes, spec);
+    EXPECT_TRUE(report.ok()) << report.toString();
+    EXPECT_FALSE(report.audited);
+    EXPECT_TRUE(report.totalsAudited);
+    EXPECT_FALSE(report.totalsDiverge());
+}
+
+// ----------------------------------------------------------------------
+// Padding search regression (satellite: pinned (interval, pad) pairs)
+// ----------------------------------------------------------------------
+
+// The padded rung searches a small (padInterval, padElems) family and
+// keeps the wavefront-cheapest pair that fits. Pin the chosen pair for
+// two corpus cases — one scalar-vectorization case and one where the
+// pad must stay a multiple of an 8-wide vectorization — so a cost-model
+// or search-order change shows up as an explicit diff here.
+TEST(ExecFallback, PaddingSearchPinsChosenPairOnCorpusCases)
+{
+    auto forcePadded = forceShared();
+    forcePadded.push_back("plan.optimal-swizzle");
+    forcePadded.push_back("plan.legacy-swizzle");
+
+    struct Pin
+    {
+        const char *file;
+        int64_t interval, pad;
+        int vec;
+    };
+    const Pin pins[] = {
+        {"seed3_case16.txt", 64, 4, 1},
+        {"seed3_case29.txt", 32, 8, 8},
+    };
+    for (const auto &pin : pins) {
+        const CorpusEntry *entry = nullptr;
+        for (const auto &e : corpus())
+            if (e.file == pin.file)
+                entry = &e;
+        ASSERT_NE(entry, nullptr) << pin.file << " missing from corpus";
+
+        auto plan = planWith(entry->c, forcePadded);
+        ASSERT_EQ(plan.kind, ConversionKind::SharedPadded) << pin.file;
+        ASSERT_TRUE(plan.shared.has_value()) << pin.file;
+        EXPECT_TRUE(plan.shared->padded()) << pin.file;
+        EXPECT_EQ(plan.shared->padInterval, pin.interval) << pin.file;
+        EXPECT_EQ(plan.shared->padElems, pin.pad) << pin.file;
+        EXPECT_EQ(plan.shared->vecElems(), pin.vec) << pin.file;
+        // Padding stays vec-aligned so access windows never straddle a
+        // pad gap.
+        EXPECT_EQ(plan.shared->padInterval % plan.shared->vecElems(), 0)
+            << pin.file;
+        EXPECT_EQ(plan.shared->padElems % plan.shared->vecElems(), 0)
+            << pin.file;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Engine-level accounting
+// ----------------------------------------------------------------------
+
+ir::Function
+gemmFunction()
+{
+    ir::Function f("gemm");
+    int a = f.load({ir::DType::F16, {64, 64}});
+    int b = f.load({ir::DType::F16, {64, 64}});
+    int c = f.dot(a, b, ir::DType::F32);
+    f.store(c);
+    return f;
+}
+
+// One transient execution failure (a single forced shot) must cost the
+// engine exactly one demotion — counted in execFallbacks — while every
+// conversion still gets a concrete plan tag and run() never throws.
+TEST(ExecFallback, EngineDemotesOnceOnTransientExecutionFailure)
+{
+    // The gemm fixture plans shared-memory conversions when healthy, so
+    // the shared executor's first guard is the deterministic target.
+    failpoint::activate("exec.shared.file-size", 1);
+    auto f = gemmFunction();
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    engine::EngineStats stats;
+    EXPECT_NO_THROW(stats = eng.run(f));
+    failpoint::deactivate("exec.shared.file-size");
+
+    EXPECT_EQ(stats.execFallbacks, 1);
+    EXPECT_EQ(stats.execFailures, 0);
+    EXPECT_GE(stats.convertsPlanned, 1);
+    bool sawDemoted = false;
+    for (int i = 0; i < f.numOps(); ++i) {
+        const auto &tag = f.op(i).tag;
+        EXPECT_EQ(tag.find("convert:unplanned"), std::string::npos)
+            << tag;
+        auto pos = tag.find("convert:");
+        if (pos == std::string::npos)
+            continue;
+        auto kind = codegen::parseConversionKind(tag.substr(pos + 8));
+        ASSERT_TRUE(kind.has_value()) << tag;
+        sawDemoted |= *kind == ConversionKind::SharedPadded ||
+                      *kind == ConversionKind::SharedScalar;
+    }
+    EXPECT_TRUE(sawDemoted)
+        << "no conversion tag records the demoted rung";
+}
+
+// A persistent executor outage (every shared execution failing,
+// including the terminal scalar rung's) must exhaust the ladder: the
+// conversion is downgraded to convert:unplanned, execFailures counts
+// it, and the engine still completes.
+TEST(ExecFallback, EngineSurvivesPersistentExecutionFailure)
+{
+    failpoint::ScopedSet guard({"exec.shared.file-size"});
+    auto f = gemmFunction();
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    engine::EngineStats stats;
+    EXPECT_NO_THROW(stats = eng.run(f));
+
+    EXPECT_GE(stats.execFailures, 1);
+    EXPECT_GE(stats.execFallbacks, 1); // demotions tried on the way down
+    EXPECT_FALSE(stats.planDiagnostics.empty());
+    bool sawUnplanned = false;
+    for (int i = 0; i < f.numOps(); ++i) {
+        if (f.op(i).tag.find("convert:unplanned") != std::string::npos)
+            sawUnplanned = true;
+    }
+    EXPECT_TRUE(sawUnplanned);
+}
+
+// A healthy engine takes no demotions and reports zero execution
+// failures — the new accounting stays silent on the happy path.
+TEST(ExecFallback, HealthyEngineReportsNoExecFallbacks)
+{
+    auto f = gemmFunction();
+    engine::LayoutEngine eng({sim::GpuSpec::gh200(), 4});
+    auto stats = eng.run(f);
+    EXPECT_EQ(stats.execFallbacks, 0);
+    EXPECT_EQ(stats.execFailures, 0);
+    EXPECT_GE(stats.convertsPlanned, 1);
+}
+
+} // namespace
+} // namespace ll

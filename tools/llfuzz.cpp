@@ -28,6 +28,15 @@
  * planner lands on still routes every element correctly. The active set
  * is recorded in the case (and preserved through shrinking), so
  * reproducers replay the exact same injected failures.
+ *
+ * --failpoint-coverage runs coverage-guided fault injection over the
+ * combined planner + execution site pool: each iteration picks one site
+ * with probability inversely proportional to its hit count, forces it
+ * (planner sites for a whole random case, execution sites one-shot
+ * against a deterministic probe whose plan reaches that executor), and
+ * demands the engine-style demotion survives with a bit-exact oracle
+ * verdict. The run fails unless every pooled site was hit at least once
+ * within the --iters budget.
  */
 
 #include <cstring>
@@ -41,6 +50,8 @@
 #include "check/oracle.h"
 #include "check/shrink.h"
 #include "codegen/conversion.h"
+#include "codegen/gather.h"
+#include "support/failpoint.h"
 
 using namespace ll;
 
@@ -55,6 +66,7 @@ struct Options
     std::string replayFile;
     bool injectBug = false;
     double failpointRate = 0.0;
+    bool failpointCoverage = false;
     bool verbose = false;
 };
 
@@ -65,7 +77,7 @@ usage()
         << "usage: llfuzz [--seed N] [--iters M] [--max-rank R]\n"
            "              [--emit-corpus DIR] [--replay FILE]\n"
            "              [--inject-bug] [--failpoint-rate P]\n"
-           "              [--verbose]\n";
+           "              [--failpoint-coverage] [--verbose]\n";
 }
 
 bool
@@ -107,6 +119,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.replayFile = v;
         } else if (arg == "--inject-bug") {
             opt.injectBug = true;
+        } else if (arg == "--failpoint-coverage") {
+            opt.failpointCoverage = true;
         } else if (arg == "--failpoint-rate") {
             const char *v = needValue("--failpoint-rate");
             if (!v)
@@ -221,6 +235,203 @@ runInjectBugSelfTest(const Options &opt)
     return 1;
 }
 
+/** Blocked-encoding shorthand for the deterministic coverage probes. */
+LinearLayout
+coverageBlocked(const triton::Shape &spt, const triton::Shape &tpw,
+                const triton::Shape &wpc, const std::vector<int32_t> &order,
+                const triton::Shape &shape)
+{
+    triton::BlockedEncoding enc;
+    enc.sizePerThread = spt;
+    enc.threadsPerWarp = tpw;
+    enc.warpsPerCta = wpc;
+    enc.order = order;
+    return enc.toLinearLayout(shape);
+}
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/**
+ * Force one exec.gather.* site against a fixed warp-local gather, then
+ * rerun clean: the forced run must fail through the site's error path
+ * and the clean run must gather correctly (and, as a side effect,
+ * evaluate every gather guard, bumping its hit count).
+ */
+bool
+runGatherProbe(const std::string &site)
+{
+    auto spec = sim::GpuSpec::gh200();
+    auto l = coverageBlocked({1, 8}, {32, 1}, {1, 1}, {1, 0}, {32, 8});
+    auto plan = codegen::planGather(l, 1, spec);
+    if (!plan.has_value()) {
+        std::cerr << "gather probe failed to plan\n";
+        return false;
+    }
+    std::vector<std::vector<uint64_t>> regs(
+        32, std::vector<uint64_t>(static_cast<size_t>(plan->numRegs)));
+    std::vector<std::vector<int32_t>> idx(
+        32, std::vector<int32_t>(static_cast<size_t>(plan->numRegs)));
+    for (int lane = 0; lane < 32; ++lane) {
+        for (int reg = 0; reg < plan->numRegs; ++reg) {
+            regs[static_cast<size_t>(lane)][static_cast<size_t>(reg)] =
+                static_cast<uint64_t>(lane * plan->numRegs + reg);
+            idx[static_cast<size_t>(lane)][static_cast<size_t>(reg)] =
+                reg; // identity gather along axis 1
+        }
+    }
+    failpoint::activate(site, 1);
+    auto forced = codegen::executeGather(*plan, l, 0, regs, idx);
+    failpoint::deactivate(site);
+    if (forced.ok()) {
+        std::cerr << "forced gather failpoint " << site
+                  << " did not fire\n";
+        return false;
+    }
+    auto clean = codegen::executeGather(*plan, l, 0, regs, idx);
+    if (!clean.ok()) {
+        std::cerr << "clean gather probe failed: "
+                  << clean.diag().toString() << "\n";
+        return false;
+    }
+    for (int lane = 0; lane < 32; ++lane) {
+        for (int reg = 0; reg < plan->numRegs; ++reg) {
+            if ((*clean)[static_cast<size_t>(lane)]
+                        [static_cast<size_t>(reg)] !=
+                regs[static_cast<size_t>(lane)]
+                    [static_cast<size_t>(reg)]) {
+                std::cerr << "identity gather misrouted an element\n";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+int
+runFailpointCoverage(const Options &opt)
+{
+    failpoint::clearAll();
+    std::mt19937 rng(opt.seed);
+    check::GenOptions gen;
+    gen.maxRank = opt.maxRank;
+
+    auto pool = codegen::plannerFailpointSites();
+    auto execSites = codegen::executionFailpointSites();
+    pool.insert(pool.end(), execSites.begin(), execSites.end());
+
+    // Deterministic probes whose plans reach each executor family: the
+    // forced exec site is then guaranteed to be evaluated (and fire).
+    check::ConversionCase shuffleCase;
+    shuffleCase.src =
+        coverageBlocked({1, 4}, {8, 4}, {2, 2}, {1, 0}, {16, 64});
+    shuffleCase.dst =
+        coverageBlocked({4, 1}, {2, 16}, {2, 2}, {1, 0}, {16, 64});
+    shuffleCase.summary = "coverage shuffle probe";
+    check::ConversionCase sharedCase;
+    sharedCase.src = shuffleCase.src;
+    sharedCase.dst =
+        coverageBlocked({1, 4}, {8, 4}, {4, 1}, {1, 0}, {16, 64});
+    sharedCase.summary = "coverage shared probe";
+
+    int64_t demotions = 0;
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        // Coverage guidance: select inversely to how often each site's
+        // guard has been evaluated so far.
+        std::vector<double> weights;
+        weights.reserve(pool.size());
+        for (const auto &s : pool)
+            weights.push_back(
+                1.0 / (1.0 + static_cast<double>(failpoint::hitCount(s))));
+        std::discrete_distribution<size_t> pick(weights.begin(),
+                                                weights.end());
+        const std::string site = pool[pick(rng)];
+        if (opt.verbose)
+            std::cout << "[" << iter << "] forcing " << site << "\n";
+
+        if (startsWith(site, "exec.gather.")) {
+            if (!runGatherProbe(site))
+                return 1;
+        } else if (startsWith(site, "exec.")) {
+            const auto &c = startsWith(site, "exec.shuffle.")
+                                ? shuffleCase
+                                : sharedCase;
+            failpoint::activate(site, 1);
+            check::DemotionReport dr;
+            try {
+                dr = check::checkCaseWithDemotion(c);
+            } catch (const std::exception &e) {
+                failpoint::deactivate(site);
+                std::cerr << "EXCEPTION forcing " << site << " on "
+                          << c.summary << ": " << e.what() << "\n";
+                return 1;
+            }
+            failpoint::deactivate(site);
+            if (dr.demotions < 1) {
+                std::cerr << "forced exec failpoint " << site
+                          << " did not trigger a demotion on "
+                          << c.summary << "\n";
+                return 1;
+            }
+            if (!dr.survived) {
+                std::cerr << "demotion did not survive forcing " << site
+                          << " on " << c.summary << "\n";
+                for (const auto &n : dr.notes)
+                    std::cerr << "  " << n << "\n";
+                return 1;
+            }
+            if (!dr.report.ok()) {
+                std::cerr << "demoted plan failed the oracle after "
+                          << site << " on " << c.summary << ":\n  "
+                          << dr.report.toString() << "\n";
+                return 1;
+            }
+            demotions += dr.demotions;
+        } else {
+            auto c = check::randomConversionCase(rng, gen);
+            c.failpoints.push_back(site);
+            c.summary += " +failpoints{" + site + "}";
+            check::OracleReport report;
+            try {
+                report = check::checkConversionCase(c);
+            } catch (const std::exception &e) {
+                std::cerr << "EXCEPTION on " << c.summary << ": "
+                          << e.what() << "\n";
+                return 1;
+            }
+            if (!report.ok()) {
+                auto checker = [](const check::ConversionCase &cc) {
+                    return check::checkConversionCase(cc);
+                };
+                return reportFailure(c, report, checker);
+            }
+        }
+    }
+
+    std::vector<std::string> missed;
+    for (const auto &s : pool) {
+        if (failpoint::hitCount(s) == 0)
+            missed.push_back(s);
+    }
+    if (!missed.empty()) {
+        std::cerr << "llfuzz: " << missed.size()
+                  << " failpoint sites never hit within " << opt.iters
+                  << " iterations:\n";
+        for (const auto &s : missed)
+            std::cerr << "  " << s << "\n";
+        return 1;
+    }
+    std::cout << "llfuzz: failpoint coverage " << pool.size() << "/"
+              << pool.size() << " sites hit over " << opt.iters
+              << " cases, " << demotions
+              << " execution-triggered demotions (seed " << opt.seed
+              << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -236,6 +447,9 @@ main(int argc, char **argv)
 
     if (opt.injectBug)
         return runInjectBugSelfTest(opt);
+
+    if (opt.failpointCoverage)
+        return runFailpointCoverage(opt);
 
     if (!opt.replayFile.empty()) {
         check::ConversionCase c;
