@@ -1,0 +1,34 @@
+# Smoke-run every figure binary (google-benchmark cases filtered out,
+# 1 rep) into a scratch dir, then validate the BENCH_*.json reports
+# each one must emit against the schema llstat enforces.
+#
+# Script arguments (via -D):
+#   BENCH_DIR   directory holding the bench binaries
+#   BENCH_NAMES comma-separated binary names
+#   LLSTAT      path to the llstat binary
+#   OUT_DIR     scratch dir for the emitted reports
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+string(REPLACE "," ";" _names "${BENCH_NAMES}")
+foreach(name IN LISTS _names)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+                LL_BENCH_REPS=1 "LL_BENCH_JSON_DIR=${OUT_DIR}"
+                "${BENCH_DIR}/${name}" --benchmark_filter=__nobench__
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${name} exited with ${rc}")
+    endif()
+    if(NOT EXISTS "${OUT_DIR}/BENCH_${name}.json")
+        message(FATAL_ERROR "${name} did not emit BENCH_${name}.json")
+    endif()
+endforeach()
+
+execute_process(COMMAND "${LLSTAT}" --validate-bench-json "${OUT_DIR}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_*.json schema validation failed")
+endif()

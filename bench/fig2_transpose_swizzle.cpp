@@ -138,7 +138,7 @@ BENCHMARK(BM_OptimalSwizzlePlan)
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("fig2_transpose_swizzle", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -138,7 +138,7 @@ BENCHMARK(BM_Mxfp4CostModel)->Arg(2048)->Arg(8192);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("fig6_mxfp4_gemm", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

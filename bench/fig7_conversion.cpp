@@ -140,7 +140,7 @@ BENCHMARK(BM_ShufflePlanAndExecute)
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("fig7_conversion", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -137,7 +137,7 @@ BENCHMARK(BM_GatherExecute)->Arg(4)->Arg(32)->Arg(128);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("fig8_gather", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

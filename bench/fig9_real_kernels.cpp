@@ -123,7 +123,7 @@ BENCHMARK(BM_EngineOnKernel)->Arg(0)->Arg(5)->Arg(8);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("fig9_real_kernels", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

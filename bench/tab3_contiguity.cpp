@@ -113,7 +113,7 @@ BENCHMARK(BM_ContiguityAnalysis)->Arg(1)->Arg(4)->Arg(16);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("tab3_contiguity", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

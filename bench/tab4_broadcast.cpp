@@ -220,7 +220,7 @@ BENCHMARK(BM_ReduceTransfer);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("tab4_broadcast", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -135,7 +135,7 @@ BENCHMARK(BM_MixedPrecisionLayoutEngine);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("tab5_mixed_precision", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -64,7 +64,7 @@ BENCHMARK(BM_CostModelOnKernel)->Arg(0)->Arg(5);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    ll::bench::emitBenchJson("tab6_op_distribution", [] { printTable(); });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -10,6 +10,8 @@
 #include "sim/memory_sim.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ll {
 namespace codegen {
@@ -116,9 +118,21 @@ evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
                         int elemBytes, const sim::GpuSpec &spec,
                         bool allowLdmatrix, bool allowStmatrix)
 {
+    trace::Span span("plan.shared.candidate", "plan");
+    static auto &examined = metrics::counter("plan.shared.candidates");
+    examined.inc();
     const int64_t numElems = src.getTotalOutDimSize();
     const int64_t alloc = cand.allocElems(numElems);
+    if (span.active()) {
+        span.arg("alloc_bytes", alloc * elemBytes);
+        span.arg("padded", static_cast<int64_t>(cand.padded()));
+        span.arg("windowed", static_cast<int64_t>(cand.windowed()));
+    }
     if (!sim::SharedMemory::fits(spec, elemBytes, alloc)) {
+        static auto &rejected =
+            metrics::counter("plan.shared.cta_rejected");
+        rejected.inc();
+        span.arg("outcome", "cta-budget-exceeded");
         return makeDiag(
             DiagCode::CtaBudgetExceeded, "plan.cta-budget",
             "candidate allocates " + std::to_string(alloc * elemBytes) +
@@ -141,15 +155,29 @@ evaluateSharedCandidate(const ConversionPlan &base, SwizzledShared cand,
         // Lemma 9.4 needs per-access uniformity; padding breaks it and
         // windowing splits accesses across passes, so both fall back to
         // the enumerated totals below.
-        trial.storeWavefrontsPerAccess =
-            analyticWavefronts(cand, src, elemBytes, spec);
-        trial.loadWavefrontsPerAccess =
-            analyticWavefronts(cand, dst, elemBytes, spec);
+        auto storeWfPer = tryAnalyticWavefronts(cand, src, elemBytes, spec);
+        if (!storeWfPer)
+            return storeWfPer.diag();
+        auto loadWfPer = tryAnalyticWavefronts(cand, dst, elemBytes, spec);
+        if (!loadWfPer)
+            return loadWfPer.diag();
+        trial.storeWavefrontsPerAccess = *storeWfPer;
+        trial.loadWavefrontsPerAccess = *loadWfPer;
     }
     trial.storeWavefrontsTotal =
         enumerateWavefronts(cand, src, elemBytes, spec);
     trial.loadWavefrontsTotal =
         enumerateWavefronts(cand, dst, elemBytes, spec);
+    static auto &storeWf =
+        metrics::counter("plan.shared.store_wavefronts");
+    static auto &loadWf = metrics::counter("plan.shared.load_wavefronts");
+    storeWf.add(trial.storeWavefrontsTotal);
+    loadWf.add(trial.loadWavefrontsTotal);
+    if (span.active()) {
+        span.arg("outcome", "priced");
+        span.arg("store_wavefronts", trial.storeWavefrontsTotal);
+        span.arg("load_wavefronts", trial.loadWavefrontsTotal);
+    }
     trial.shared = std::move(cand);
     return trial;
 }
@@ -328,9 +356,9 @@ smokeExecutePlan(const ConversionPlan &plan, const LinearLayout &srcIn,
     return std::nullopt;
 }
 
-Result<ConversionPlan>
-tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
-                  int elemBytes, const sim::GpuSpec &spec)
+static Result<ConversionPlan>
+tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
+                      int elemBytes, const sim::GpuSpec &spec)
 {
     if (auto bad = validateInputs(src, dst, elemBytes))
         return *bad;
@@ -346,31 +374,69 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
         return false;
     };
 
+    // Each rung gets its own span so a trace shows where planning time
+    // went and why the ladder stepped down (see DESIGN.md
+    // "Observability" for the taxonomy).
+    auto rejectRung = [&notes](trace::Span &rung) {
+        if (!rung.active())
+            return;
+        rung.arg("outcome", "reject");
+        if (!notes.empty())
+            rung.arg("reason", notes.notes.back().toString());
+    };
+
     // Rung 1: no movement at all.
-    if (!skipped("plan.noop") && conversionIsNoOp(src, dst)) {
-        plan.kind = ConversionKind::NoOp;
-        return plan;
+    {
+        trace::Span rung("plan.rung.noop", "plan");
+        if (!skipped("plan.noop") && conversionIsNoOp(src, dst)) {
+            rung.arg("outcome", "accept");
+            rung.arg("cycles", 0.0);
+            plan.kind = ConversionKind::NoOp;
+            return plan;
+        }
+        rejectRung(rung);
     }
 
     // Rung 2: data stays within each thread.
-    if (!skipped("plan.register-permute") &&
-        conversionIsRegisterPermute(src, dst)) {
-        plan.kind = ConversionKind::RegisterPermute;
-        return plan;
+    {
+        trace::Span rung("plan.rung.register-permute", "plan");
+        if (!skipped("plan.register-permute") &&
+            conversionIsRegisterPermute(src, dst)) {
+            plan.kind = ConversionKind::RegisterPermute;
+            rung.arg("outcome", "accept");
+            if (rung.active())
+                rung.arg("cycles",
+                         plan.estimateCycles(src, elemBytes, spec));
+            return plan;
+        }
+        rejectRung(rung);
     }
 
     // Rung 3: data stays within each warp.
-    if (!skipped("plan.warp-shuffle")) {
-        auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
-        if (shuffle) {
-            plan.kind = ConversionKind::WarpShuffle;
-            plan.shuffle = std::move(*shuffle);
-            return plan;
+    {
+        trace::Span rung("plan.rung.warp-shuffle", "plan");
+        if (!skipped("plan.warp-shuffle")) {
+            auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
+            if (shuffle) {
+                plan.kind = ConversionKind::WarpShuffle;
+                plan.shuffle = std::move(*shuffle);
+                rung.arg("outcome", "accept");
+                if (rung.active())
+                    rung.arg("cycles",
+                             plan.estimateCycles(src, elemBytes, spec));
+                return plan;
+            }
+            // Not-applicable is the ordinary road to shared memory;
+            // only a degenerate exchange structure is worth reporting.
+            if (shuffle.diag().code != DiagCode::ShuffleNotApplicable)
+                notes.note(shuffle.diag());
+            if (rung.active()) {
+                rung.arg("outcome", "reject");
+                rung.arg("reason", shuffle.diag().toString());
+            }
+        } else {
+            rejectRung(rung);
         }
-        // Not-applicable is the ordinary road to shared memory; only a
-        // degenerate exchange structure is worth reporting.
-        if (shuffle.diag().code != DiagCode::ShuffleNotApplicable)
-            notes.note(shuffle.diag());
     }
 
     // Rungs 4-6 go through shared memory. The matrix instructions are
@@ -392,6 +458,7 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
     // construction and, on 2D tensors, the legacy-parameter mma swizzle
     // whose vec-granular phases keep 16-byte rows intact and so stay
     // divisible by the ldmatrix/stmatrix tiles. Pick by modeled cost.
+    trace::Span rung4("plan.rung.shared-memory", "plan");
     std::vector<SwizzledShared> candidates;
     if (!skipped("plan.optimal-swizzle")) {
         auto opt = tryComputeOptimalSwizzle(src, dst, elemBytes, spec);
@@ -468,11 +535,22 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
                            e.what());
         }
     }
+    if (rung4.active()) {
+        rung4.arg("candidates",
+                  static_cast<int64_t>(candidates.size()));
+        rung4.arg("outcome", haveBest ? "accept" : "reject");
+        if (haveBest)
+            rung4.arg("cycles", bestCost);
+        else if (!notes.empty())
+            rung4.arg("reason", notes.notes.back().toString());
+    }
+    rung4.finish();
     if (haveBest)
         return best;
 
     // Rung 5: unswizzled shared memory with bank-offset padding.
     {
+        trace::Span rung("plan.rung.shared-padded", "plan");
         auto padded = planPaddedShared(src, dst, elemBytes, spec);
         if (padded) {
             try {
@@ -486,6 +564,10 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
                 if (evaluated) {
                     ConversionPlan trial = std::move(*evaluated);
                     trial.kind = ConversionKind::SharedPadded;
+                    rung.arg("outcome", "accept");
+                    if (rung.active())
+                        rung.arg("cycles", trial.estimateCycles(
+                                               src, elemBytes, spec));
                     return trial;
                 }
                 notes.note(evaluated.diag());
@@ -497,11 +579,13 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
         } else {
             notes.note(padded.diag());
         }
+        rejectRung(rung);
     }
 
     // Rung 6: element-wise scalar round trip — the terminal rung,
     // correct for any surjective pair.
     {
+        trace::Span rung("plan.rung.shared-scalar", "plan");
         auto scalar = planScalarShared(src, dst, elemBytes, spec);
         if (scalar) {
             try {
@@ -511,6 +595,10 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
                 if (evaluated) {
                     ConversionPlan trial = std::move(*evaluated);
                     trial.kind = ConversionKind::SharedScalar;
+                    rung.arg("outcome", "accept");
+                    if (rung.active())
+                        rung.arg("cycles", trial.estimateCycles(
+                                               src, elemBytes, spec));
                     return trial;
                 }
                 notes.note(evaluated.diag());
@@ -522,11 +610,46 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
         } else {
             notes.note(scalar.diag());
         }
+        rejectRung(rung);
     }
 
     return makeDiag(DiagCode::PlannerInternalError, "plan",
                     "every rung of the fallback ladder failed: " +
                         notes.toString());
+}
+
+Result<ConversionPlan>
+tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
+                  int elemBytes, const sim::GpuSpec &spec)
+{
+    trace::Span span("plan.conversion", "plan");
+    static auto &attempts = metrics::counter("plan.attempts");
+    attempts.inc();
+    auto result = tryPlanConversionImpl(src, dst, elemBytes, spec);
+    if (result.ok()) {
+        static auto &planned = metrics::counter("plan.planned");
+        planned.inc();
+        metrics::counter("plan.kind." + toString(result->kind)).inc();
+        const double cycles =
+            result->estimateCycles(src, elemBytes, spec);
+        static auto &cyclesHist = metrics::Registry::instance().histogram(
+            "plan.cycles", {1.0, 10.0, 100.0, 1000.0, 10000.0});
+        cyclesHist.observe(cycles);
+        if (span.active()) {
+            span.arg("kind", toString(result->kind));
+            span.arg("cycles", cycles);
+            span.arg("rungs_rejected",
+                     static_cast<int64_t>(result->diagnostics.notes.size()));
+        }
+    } else {
+        static auto &failed = metrics::counter("plan.failed");
+        failed.inc();
+        if (span.active()) {
+            span.arg("kind", "unplanned");
+            span.arg("error", result.diag().toString());
+        }
+    }
+    return result;
 }
 
 ConversionPlan

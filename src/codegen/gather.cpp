@@ -3,6 +3,8 @@
 #include "layout/dims.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ll {
 namespace codegen {
@@ -50,6 +52,9 @@ executeGather(const GatherPlan &plan, const LinearLayout &layout,
               int32_t warp, const std::vector<std::vector<uint64_t>> &regs,
               const std::vector<std::vector<int32_t>> &idx)
 {
+  trace::Span span("exec.gather", "exec");
+  static auto &runs = metrics::counter("exec.gather.runs");
+  runs.inc();
   try {
     const int warpSize = plan.warpSize;
     const int numRegs = plan.numRegs;
@@ -130,6 +135,14 @@ executeGather(const GatherPlan &plan, const LinearLayout &layout,
                 regs[static_cast<size_t>(srcLane)]
                     [static_cast<size_t>(srcReg)];
         }
+    }
+    static auto &moved = metrics::counter("exec.gather.elements_moved");
+    moved.add(static_cast<int64_t>(warpSize) * numRegs);
+    if (span.active()) {
+        span.arg("rounds", static_cast<int64_t>(plan.rounds));
+        span.arg("warp_size", warpSize);
+        span.arg("elements_moved",
+                 static_cast<int64_t>(warpSize) * numRegs);
     }
     return out;
   } catch (const std::exception &e) {

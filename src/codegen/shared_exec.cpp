@@ -6,6 +6,8 @@
 #include "layout/dims.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ll {
 namespace codegen {
@@ -36,23 +38,23 @@ struct SharedExecFaults
 /**
  * Mask a warp access's storage offsets down to the current window:
  * offsets inside [pass * window, pass * window + window) become
- * window-local, the rest go inactive. Returns false when no lane is
- * active (the access is not issued at all).
+ * window-local, the rest go inactive. Returns the number of active
+ * lanes; 0 means the access is not issued at all.
  */
-bool
+int64_t
 maskToWindow(std::vector<int64_t> &offsets, int64_t pass, int64_t window)
 {
     const int64_t lo = pass * window;
-    bool any = false;
+    int64_t active = 0;
     for (int64_t &o : offsets) {
         if (o >= lo && o < lo + window) {
             o -= lo;
-            any = true;
+            ++active;
         } else {
             o = sim::kInactiveLane;
         }
     }
-    return any;
+    return active;
 }
 
 /** Worst-case wavefronts a pass of `instructions` accesses can cost:
@@ -75,6 +77,10 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                         const LinearLayout &dst, int elemBytes,
                         const sim::GpuSpec &spec)
 {
+  trace::Span span("exec.shared.convert", "exec");
+  static auto &runs = metrics::counter("exec.shared.runs");
+  runs.inc();
+  int64_t lanesMasked = 0;
   try {
     SharedExecFaults faults;
     SharedConversionResult result;
@@ -126,7 +132,10 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                             static_cast<uint64_t>(linear + k)));
                     }
                 }
-                if (!maskToWindow(offsets, pass, alloc))
+                const int64_t active = maskToWindow(offsets, pass, alloc);
+                lanesMasked +=
+                    static_cast<int64_t>(offsets.size()) - active;
+                if (active == 0)
                     continue;
                 smem.warpStore(offsets, vec, values, result.storeStats);
             }
@@ -138,7 +147,10 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
                 auto offsets = warpAccessOffsets(swz, dstAligned, rep,
                                                  warp, warpSize);
                 auto global = offsets;
-                if (!maskToWindow(offsets, pass, alloc))
+                const int64_t active = maskToWindow(offsets, pass, alloc);
+                lanesMasked +=
+                    static_cast<int64_t>(offsets.size()) - active;
+                if (active == 0)
                     continue;
                 auto loaded = smem.warpLoad(offsets, vec,
                                             result.loadStats);
@@ -170,6 +182,21 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
             std::to_string(measured) +
                 " wavefronts exceed the full-serialization budget");
     }
+    static auto &passesRun = metrics::counter("exec.shared.passes");
+    passesRun.add(passes);
+    static auto &wavefronts = metrics::counter("exec.shared.wavefronts");
+    wavefronts.add(measured);
+    static auto &masked = metrics::counter("exec.shared.lanes_masked");
+    masked.add(lanesMasked);
+    static auto &bytes = metrics::counter("exec.shared.bytes_moved");
+    bytes.add(2 * numElems * elemBytes);
+    if (span.active()) {
+        span.arg("passes", passes);
+        span.arg("alloc_bytes", alloc * elemBytes);
+        span.arg("wavefronts", measured);
+        span.arg("lanes_masked", lanesMasked);
+        span.arg("bytes_moved", 2 * numElems * elemBytes);
+    }
     return result;
   } catch (const std::exception &e) {
     return makeExecDiag(ExecError::ExecInternalError, "exec.shared",
@@ -183,6 +210,10 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                    const std::vector<uint64_t> &srcFile, int elemBytes,
                    const sim::GpuSpec &spec)
 {
+  trace::Span span("exec.shared.round-trip", "exec");
+  static auto &runs = metrics::counter("exec.shared.runs");
+  runs.inc();
+  int64_t lanesMasked = 0;
   try {
     SharedExecFaults faults;
     LinearLayout src = srcIn.transposeOuts(swz.memLayout.getOutDimNames());
@@ -315,7 +346,10 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                     for (const auto &[slot, payload] : it->second)
                         values[lane][static_cast<size_t>(slot)] = payload;
                 }
-                if (!maskToWindow(offsets, pass, alloc))
+                const int64_t active = maskToWindow(offsets, pass, alloc);
+                lanesMasked +=
+                    static_cast<int64_t>(offsets.size()) - active;
+                if (active == 0)
                     continue;
                 smem.warpStore(offsets, vec, values, result.storeStats);
             }
@@ -327,7 +361,10 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                 auto offsets = warpAccessOffsets(swz, dstAligned, rep,
                                                  warp, dstLanes);
                 auto global = offsets;
-                if (!maskToWindow(offsets, pass, alloc))
+                const int64_t active = maskToWindow(offsets, pass, alloc);
+                lanesMasked +=
+                    static_cast<int64_t>(offsets.size()) - active;
+                if (active == 0)
                     continue;
                 auto loaded =
                     smem.warpLoad(offsets, vec, result.loadStats);
@@ -360,6 +397,21 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
             ExecError::BankBudgetExceeded, "exec.shared.bank-budget",
             std::to_string(measured) +
                 " wavefronts exceed the full-serialization budget");
+    }
+    static auto &passesRun = metrics::counter("exec.shared.passes");
+    passesRun.add(passes);
+    static auto &wavefronts = metrics::counter("exec.shared.wavefronts");
+    wavefronts.add(measured);
+    static auto &masked = metrics::counter("exec.shared.lanes_masked");
+    masked.add(lanesMasked);
+    static auto &bytes = metrics::counter("exec.shared.bytes_moved");
+    bytes.add(2 * numElems * elemBytes);
+    if (span.active()) {
+        span.arg("passes", passes);
+        span.arg("alloc_bytes", alloc * elemBytes);
+        span.arg("wavefronts", measured);
+        span.arg("lanes_masked", lanesMasked);
+        span.arg("bytes_moved", 2 * numElems * elemBytes);
     }
     return result;
   } catch (const std::exception &e) {

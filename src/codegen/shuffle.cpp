@@ -7,6 +7,8 @@
 #include "layout/dims.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ll {
 namespace codegen {
@@ -173,6 +175,9 @@ WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
     // Execution is total: every surprise — malformed register file,
     // corrupted plan — is reported as data so the engine can demote the
     // conversion instead of aborting a long-running process.
+    trace::Span span("exec.shuffle", "exec");
+    static auto &runs = metrics::counter("exec.shuffle.runs");
+    runs.inc();
     if (LL_FAILPOINT("exec.shuffle.shape")) {
         return makeExecDiag(ExecError::FailpointInjected,
                             "exec.shuffle.shape",
@@ -199,6 +204,7 @@ WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
         std::vector<uint64_t>(static_cast<size_t>(numRegsB), ~uint64_t(0)));
     const bool failLane = LL_FAILPOINT("exec.shuffle.lane-range");
     const bool failReg = LL_FAILPOINT("exec.shuffle.reg-range");
+    int64_t elementsMoved = 0;
     for (const auto &round : xfers) {
         for (size_t lane = 0; lane < round.size(); ++lane) {
             if (lane >= static_cast<size_t>(warpSize)) {
@@ -228,8 +234,18 @@ WarpShufflePlan::execute(const std::vector<std::vector<uint64_t>> &src) const
                 dst[lane][static_cast<size_t>(rb)] =
                     src[static_cast<size_t>(x.srcLane)]
                        [static_cast<size_t>(ra)];
+                ++elementsMoved;
             }
         }
+    }
+    static auto &roundsRun = metrics::counter("exec.shuffle.rounds");
+    roundsRun.add(static_cast<int64_t>(xfers.size()));
+    static auto &moved = metrics::counter("exec.shuffle.elements_moved");
+    moved.add(elementsMoved);
+    if (span.active()) {
+        span.arg("rounds", static_cast<int64_t>(xfers.size()));
+        span.arg("warp_size", warpSize);
+        span.arg("elements_moved", elementsMoved);
     }
     return dst;
 }

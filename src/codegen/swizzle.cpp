@@ -9,6 +9,8 @@
 #include "layout/dims.h"
 #include "support/bits.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ll {
 namespace codegen {
@@ -277,10 +279,32 @@ tryComputeOptimalSwizzle(const LinearLayout &a, const LinearLayout &b,
                          int elemBytes, const sim::GpuSpec &spec,
                          int maxVecBytesOverride)
 {
+    trace::Span span("swizzle.optimal", "plan");
+    static auto &attempts = metrics::counter("swizzle.optimal.attempts");
+    attempts.inc();
     try {
-        return optimalSwizzleImpl(a, b, elemBytes, spec,
-                                  maxVecBytesOverride);
+        auto r = optimalSwizzleImpl(a, b, elemBytes, spec,
+                                    maxVecBytesOverride);
+        if (span.active()) {
+            if (r.ok()) {
+                span.arg("outcome", "ok");
+                span.arg("vec_bits", r->vecBits);
+                span.arg("idx_bits", r->idxBits);
+            } else {
+                span.arg("outcome", "reject");
+                span.arg("reason", r.diag().toString());
+            }
+        }
+        if (!r.ok()) {
+            static auto &rejects =
+                metrics::counter("swizzle.optimal.rejects");
+            rejects.inc();
+        }
+        return r;
     } catch (const std::exception &e) {
+        static auto &rejects = metrics::counter("swizzle.optimal.rejects");
+        rejects.inc();
+        span.arg("outcome", "internal-error");
         return makeDiag(DiagCode::PlannerInternalError,
                         "plan.optimal-swizzle", e.what());
     }
@@ -580,13 +604,16 @@ enumerateWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
     return total;
 }
 
-int64_t
-analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
-                   int elemBytes, const sim::GpuSpec &spec)
+Result<int64_t>
+tryAnalyticWavefronts(const SwizzledShared &swz,
+                      const LinearLayout &distIn, int elemBytes,
+                      const sim::GpuSpec &spec)
 {
-    llAssert(!swz.padded(),
-             "Lemma 9.4 does not apply to padded layouts; use "
-             "enumerateWavefronts");
+    if (swz.padded()) {
+        return makeDiag(DiagCode::InvalidInput, "swizzle.analytic",
+                        "Lemma 9.4 does not apply to padded layouts; "
+                        "use enumerateWavefronts");
+    }
     // Align to the swizzle's output order so flattened columns agree.
     LinearLayout dist =
         distIn.transposeOuts(swz.memLayout.getOutDimNames());
@@ -633,6 +660,15 @@ analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
     auto inter = f2::intersectSpans(vecIdxCols, lThr, d);
     int64_t c = int64_t(1) << inter.size();
     return n * c;
+}
+
+int64_t
+analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
+                   int elemBytes, const sim::GpuSpec &spec)
+{
+    auto r = tryAnalyticWavefronts(swz, distIn, elemBytes, spec);
+    llUserCheck(r.ok(), "analyticWavefronts: " << r.diag().toString());
+    return *r;
 }
 
 std::vector<int64_t>

@@ -186,6 +186,17 @@ int64_t analyticWavefronts(const SwizzledShared &swz,
                            const sim::GpuSpec &spec);
 
 /**
+ * Non-throwing analyticWavefronts: a padded swizzle comes back as an
+ * InvalidInput Diagnostic (stage "swizzle.analytic") instead of an
+ * exception — Lemma 9.4's per-access uniformity does not survive
+ * padding, so padded layouts must be priced by enumerateWavefronts.
+ */
+Result<int64_t> tryAnalyticWavefronts(const SwizzledShared &swz,
+                                      const LinearLayout &dist,
+                                      int elemBytes,
+                                      const sim::GpuSpec &spec);
+
+/**
  * Distinct vectorized register groups of `dist` through `swz`: one
  * representative register index per vec-aligned offset window (computed
  * at lane 0, warp 0 — the grouping is lane/warp-invariant by

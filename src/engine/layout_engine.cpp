@@ -1,12 +1,15 @@
 #include "engine/layout_engine.h"
 
 #include <algorithm>
+#include <map>
 
 #include "codegen/conversion.h"
 #include "codegen/shuffle.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "triton/encodings.h"
 
 namespace ll {
@@ -148,6 +151,7 @@ LayoutEngine::ensureOperand(ir::Function &f, int opIdx, size_t slot,
 void
 LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
 {
+    trace::Span phase("engine.assign", "engine");
     const int numOps = f.numOps();
     for (int i = 0; i < numOps; ++i) {
         // Work on a copy: inserting ConvertLayout ops reallocates the
@@ -276,6 +280,7 @@ LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
 void
 LayoutEngine::cleanup(ir::Function &f, EngineStats &stats)
 {
+    trace::Span phase("engine.cleanup", "engine");
     bool changed = true;
     while (changed) {
         changed = false;
@@ -371,10 +376,18 @@ LayoutEngine::cleanup(ir::Function &f, EngineStats &stats)
 void
 LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
 {
+    trace::Span phase("engine.plan-conversions", "engine");
+    // Successful smoke verdicts from earlier ops in this run, keyed by
+    // (src, dst, elemBytes, kind). Failures are never cached: the
+    // demotion loop needs fresh diagnostics and each failpoint
+    // activation's limited shots must be consumed by real executions.
+    std::map<std::string, bool> smokeOk;
     for (int i = 0; i < f.numOps(); ++i) {
         ir::Op &o = f.op(i);
         if (o.erased || o.kind != OpKind::ConvertLayout)
             continue;
+        trace::Span opSpan("convert.op", "engine");
+        opSpan.arg("op", i);
         const auto &have = f.value(o.operands[0]).layout;
         const auto &want = f.value(o.results[0]).layout;
         if (!have || !want) {
@@ -383,6 +396,7 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
             stats.planDiagnostics.push_back(
                 "op " + std::to_string(i) +
                 ": conversion endpoint is missing a layout");
+            opSpan.arg("outcome", "unplanned");
             continue;
         }
         const auto &type = f.value(o.results[0]).type;
@@ -406,6 +420,7 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
             stats.planDiagnostics.push_back(
                 "op " + std::to_string(i) + ": " +
                 plan.diag().toString());
+            opSpan.arg("outcome", "unplanned");
             continue;
         }
 
@@ -415,11 +430,33 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         // further down. The knockout sets grow strictly toward the
         // terminal scalar rung, so this loop terminates.
         bool execDead = false;
+        int demotions = 0;
         while (true) {
+            trace::Span iter("convert.demotion-iter", "engine");
+            if (iter.active())
+                iter.arg("kind", codegen::toString(plan->kind));
+            std::string smokeKey;
+            if (options_.cacheSmokeResults) {
+                smokeKey = have->toString() + "|" + dst.toString() +
+                           "|" + std::to_string(elemBytes) + "|" +
+                           codegen::toString(plan->kind);
+                if (smokeOk.count(smokeKey)) {
+                    ++stats.smokeCacheHits;
+                    static auto &hits =
+                        metrics::counter("engine.smoke.cache_hits");
+                    hits.inc();
+                    iter.arg("outcome", "cache-hit");
+                    break;
+                }
+            }
             auto fail = codegen::smokeExecutePlan(
                 *plan, *have, dst, elemBytes, options_.spec);
-            if (!fail.has_value())
+            if (!fail.has_value()) {
+                if (options_.cacheSmokeResults)
+                    smokeOk.emplace(std::move(smokeKey), true);
+                iter.arg("outcome", "smoke-ok");
                 break;
+            }
             stats.planDiagnostics.push_back(
                 "op " + std::to_string(i) + " (convert:" +
                 codegen::toString(plan->kind) +
@@ -429,6 +466,7 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
                 // Terminal rung failed while executing: nothing below
                 // it to demote to.
                 execDead = true;
+                iter.arg("outcome", "terminal-failure");
                 break;
             }
             auto replanned = [&]() {
@@ -441,10 +479,19 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
                     ": demoted re-plan failed: " +
                     replanned.diag().toString());
                 execDead = true;
+                iter.arg("outcome", "replan-failure");
                 break;
             }
             ++stats.execFallbacks;
+            ++demotions;
+            static auto &demoted =
+                metrics::counter("engine.exec_fallbacks");
+            demoted.inc();
             plan = std::move(replanned);
+            if (iter.active()) {
+                iter.arg("outcome", "demoted");
+                iter.arg("to_kind", codegen::toString(plan->kind));
+            }
             stats.planDiagnostics.push_back(
                 "op " + std::to_string(i) + ": demoted to convert:" +
                 codegen::toString(plan->kind) +
@@ -453,11 +500,16 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         if (execDead) {
             o.tag = "convert:unplanned";
             ++stats.execFailures;
+            opSpan.arg("outcome", "exec-failure");
             continue;
         }
 
         o.tag = "convert:" + codegen::toString(plan->kind);
         ++stats.convertsPlanned;
+        if (opSpan.active()) {
+            opSpan.arg("outcome", o.tag);
+            opSpan.arg("demotions", demotions);
+        }
         if (!plan->diagnostics.empty()) {
             ++stats.planFallbacks;
             stats.planDiagnostics.push_back(
@@ -470,11 +522,50 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
 EngineStats
 LayoutEngine::run(ir::Function &f)
 {
+    trace::Span span("engine.run", "engine");
+    if (span.active())
+        span.arg("function", f.name());
+    const auto before = metrics::Registry::instance().counterSnapshot();
+
     EngineStats stats;
     assignForward(f, stats);
     cleanup(f, stats);
     planConversions(f, stats);
     f.verify();
+
+    // Mirror the struct counters into the registry (the struct fields
+    // stay the primary API; the registry feeds llstat / bench JSON).
+    auto mirror = [](const char *name, int value) {
+        if (value != 0)
+            metrics::counter(name).add(value);
+    };
+    mirror("engine.converts_inserted", stats.convertsInserted);
+    mirror("engine.converts_eliminated", stats.convertsEliminated);
+    mirror("engine.converts_planned", stats.convertsPlanned);
+    mirror("engine.plan_fallbacks", stats.planFallbacks);
+    mirror("engine.plan_failures", stats.planFailures);
+    mirror("engine.transfer_fallbacks", stats.transferFallbacks);
+    mirror("engine.exec_failures", stats.execFailures);
+    static auto &runsC = metrics::counter("engine.runs");
+    runsC.inc();
+    // engine.exec_fallbacks and engine.smoke.cache_hits are counted at
+    // their sites in planConversions.
+
+    // The per-run metric delta: every registry counter that moved while
+    // this run was underway.
+    const auto after = metrics::Registry::instance().counterSnapshot();
+    for (const auto &[name, value] : after) {
+        auto it = before.find(name);
+        const int64_t delta =
+            value - (it == before.end() ? 0 : it->second);
+        if (delta != 0)
+            stats.metrics[name] = delta;
+    }
+    if (span.active()) {
+        span.arg("converts_planned", stats.convertsPlanned);
+        span.arg("converts_eliminated", stats.convertsEliminated);
+        span.arg("exec_fallbacks", stats.execFallbacks);
+    }
     return stats;
 }
 

@@ -16,6 +16,8 @@
 #ifndef LL_ENGINE_LAYOUT_ENGINE_H
 #define LL_ENGINE_LAYOUT_ENGINE_H
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,14 @@ struct EngineOptions
 {
     sim::GpuSpec spec = sim::GpuSpec::gh200();
     int numWarps = 4;
+    /** Reuse smoke-execution verdicts across identical conversions:
+     *  within one run, two ConvertLayout ops with the same
+     *  (src, dst, elemBytes, kind) share one successful smoke execution
+     *  (failures are never cached — the demotion loop needs fresh
+     *  diagnostics and failpoint semantics). Hits are counted in
+     *  EngineStats::smokeCacheHits and the "engine.smoke.cache_hits"
+     *  metric. */
+    bool cacheSmokeResults = true;
 };
 
 struct EngineStats
@@ -56,9 +66,17 @@ struct EngineStats
      *  to (or whose demoted re-plan failed); the op is tagged
      *  "convert:unplanned" and the engine carries on. */
     int execFailures = 0;
+    /** Smoke executions skipped because an identical conversion already
+     *  passed earlier in the run (see EngineOptions::cacheSmokeResults). */
+    int smokeCacheHits = 0;
     /** Human-readable notes from every fallback or failure, in op
      *  order. */
     std::vector<std::string> planDiagnostics;
+    /** Per-run delta of every registry counter that moved during this
+     *  run (metrics::Registry names — see DESIGN.md "Observability").
+     *  The int fields above are mirrors of the engine.* entries here;
+     *  they keep working unchanged. */
+    std::map<std::string, int64_t> metrics;
 };
 
 class LayoutEngine

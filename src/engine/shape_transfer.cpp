@@ -1,5 +1,8 @@
 #include "engine/shape_transfer.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 #include "layout/dims.h"
 #include "triton/encodings.h"
 
@@ -18,6 +21,9 @@ canonicalizeMinorToMajor(const LinearLayout &layout, int rank)
 LinearLayout
 transTransfer(const LinearLayout &in, const std::vector<int32_t> &order)
 {
+    trace::Span span("transfer.trans", "engine");
+    static auto &calls = metrics::counter("transfer.trans");
+    calls.inc();
     const int rank = static_cast<int>(order.size());
     // Two-phase rename to avoid collisions: dim{order[j]} -> tmp{j},
     // then tmp{j} -> dim{j}.
@@ -33,6 +39,9 @@ transTransfer(const LinearLayout &in, const std::vector<int32_t> &order)
 LinearLayout
 reshapeTransfer(const LinearLayout &in, const ir::Shape &newShape)
 {
+    trace::Span span("transfer.reshape", "engine");
+    static auto &calls = metrics::counter("transfer.reshape");
+    calls.inc();
     const int rank = static_cast<int>(newShape.size());
     LinearLayout flat = in.flattenOutsToDim("lin");
     std::vector<LinearLayout::DimSize> outDims;
@@ -45,6 +54,9 @@ reshapeTransfer(const LinearLayout &in, const ir::Shape &newShape)
 LinearLayout
 expandDimsTransfer(const LinearLayout &in, int axis)
 {
+    trace::Span span("transfer.expand-dims", "engine");
+    static auto &calls = metrics::counter("transfer.expand-dims");
+    calls.inc();
     const int rank = in.getNumOutDims();
     LinearLayout out = in;
     for (int k = rank - 1; k >= axis; --k)
@@ -56,6 +68,9 @@ expandDimsTransfer(const LinearLayout &in, int axis)
 LinearLayout
 broadcastTransfer(const LinearLayout &in, const ir::Shape &newShape)
 {
+    trace::Span span("transfer.broadcast", "engine");
+    static auto &calls = metrics::counter("transfer.broadcast");
+    calls.inc();
     const int rank = static_cast<int>(newShape.size());
     LinearLayout out = in;
     for (int d = 0; d < rank; ++d) {
@@ -72,6 +87,9 @@ broadcastTransfer(const LinearLayout &in, const ir::Shape &newShape)
 LinearLayout
 joinTransfer(const LinearLayout &in)
 {
+    trace::Span span("transfer.join", "engine");
+    static auto &calls = metrics::counter("transfer.join");
+    calls.inc();
     const int rank = in.getNumOutDims();
     LinearLayout out =
         LinearLayout::identity1D(2, dims::kReg, dims::out(rank)) * in;
@@ -81,6 +99,9 @@ joinTransfer(const LinearLayout &in)
 LinearLayout
 splitTransfer(const LinearLayout &in)
 {
+    trace::Span span("transfer.split", "engine");
+    static auto &calls = metrics::counter("transfer.split");
+    calls.inc();
     const int rank = in.getNumOutDims();
     LinearLayout sliced = triton::sliceLayout(in, rank - 1);
     sliced = sliced.removeZeroBasesAlongDim(dims::kReg);
@@ -90,6 +111,9 @@ splitTransfer(const LinearLayout &in)
 LinearLayout
 reduceTransfer(const LinearLayout &in, int axis)
 {
+    trace::Span span("transfer.reduce", "engine");
+    static auto &calls = metrics::counter("transfer.reduce");
+    calls.inc();
     const int rank = in.getNumOutDims();
     LinearLayout sliced = triton::sliceLayout(in, axis);
     return canonicalizeMinorToMajor(sliced, rank - 1);

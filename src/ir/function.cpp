@@ -293,7 +293,9 @@ Function::join(int a, int b)
 std::pair<int, int>
 Function::split(int v)
 {
-    const TensorType &t = typeOf(v);
+    // Copy, not reference: the first newValue below may reallocate the
+    // value table and invalidate anything typeOf returned.
+    const TensorType t = typeOf(v);
     llUserCheck(t.rank() >= 1 && t.shape.back() == 2,
                 "split expects a trailing dim of size 2");
     Shape shape = t.shape;

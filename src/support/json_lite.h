@@ -1,0 +1,315 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for tooling and tests.
+ *
+ * This is deliberately not a serialization framework: the repo emits
+ * JSON (Chrome traces, metrics exposition, BENCH_*.json reports) with
+ * hand-written writers, and the only consumers that *read* JSON back
+ * are validators — llstat --validate-bench-json and the trace
+ * golden-file test. Those need strict well-formedness checking and
+ * simple structural lookups, nothing more.
+ *
+ * Strictness: the full input must be one JSON value (trailing garbage
+ * is an error), objects/arrays must be properly closed, strings must
+ * use valid escapes, and numbers must parse. Parse failures return
+ * std::nullopt from parse(); there are no exceptions and no partial
+ * results.
+ */
+
+#ifndef LL_SUPPORT_JSON_LITE_H
+#define LL_SUPPORT_JSON_LITE_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ll {
+namespace jsonlite {
+
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> items;                ///< Kind::Array
+    std::map<std::string, Value> members;    ///< Kind::Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = members.find(key);
+        return it == members.end() ? nullptr : &it->second;
+    }
+};
+
+namespace detail {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    std::optional<Value> run()
+    {
+        skipWs();
+        Value v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != s_.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(Value &out)
+    {
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+        case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.members[key] = std::move(v);
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return false;
+                char e = s_[pos_ + 1];
+                switch (e) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    if (pos_ + 5 >= s_.size())
+                        return false;
+                    for (int i = 2; i < 6; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + static_cast<size_t>(i)])))
+                            return false;
+                    }
+                    // Validators never need the decoded code point;
+                    // keep the escape verbatim.
+                    out.append(s_, pos_, 6);
+                    pos_ += 4;
+                    break;
+                }
+                default:
+                    return false;
+                }
+                pos_ += 2;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char inside a string
+            out += c;
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool parseNumber(Value &out)
+    {
+        size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            size_t before = pos_;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+            return pos_ > before;
+        };
+        if (!digits())
+            return false;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(s_.c_str() + start, nullptr);
+        return true;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse one complete JSON document; nullopt on any malformation. */
+inline std::optional<Value>
+parse(const std::string &text)
+{
+    return detail::Parser(text).run();
+}
+
+} // namespace jsonlite
+} // namespace ll
+
+#endif // LL_SUPPORT_JSON_LITE_H

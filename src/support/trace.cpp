@@ -1,0 +1,266 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+namespace ll {
+namespace trace {
+
+namespace detail {
+
+std::atomic<bool> gEnabled{false};
+
+int64_t nowNs()
+{
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace detail
+
+namespace {
+
+// Soft cap on the buffer: a runaway loop should not OOM the process.
+// Past the cap, completed spans are counted as dropped instead.
+constexpr size_t kMaxEvents = size_t(1) << 20;
+
+struct State
+{
+    std::mutex mu;
+    std::vector<Event> events;
+    int64_t dropped = 0;
+    int64_t epochNs;
+    std::string path;
+
+    State() : epochNs(detail::nowNs()) {}
+};
+
+State &state()
+{
+    static State s;
+    return s;
+}
+
+int threadTid()
+{
+    static std::atomic<int> next{0};
+    thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void atexitFlush()
+{
+    if (eventCount() > 0)
+        flushToConfiguredPath();
+}
+
+// Reads LL_TRACE once at startup for any binary that links the tracer.
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *p = std::getenv("LL_TRACE");
+        if (p != nullptr && *p != '\0') {
+            setOutputPath(p);
+            detail::gEnabled.store(true, std::memory_order_relaxed);
+            std::atexit(atexitFlush);
+        }
+    }
+};
+EnvInit gEnvInit;
+
+void jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void Span::begin(const char *name, const char *cat)
+{
+    active_ = true;
+    name_ = name;
+    cat_ = cat;
+    startNs_ = detail::nowNs();
+}
+
+void Span::end()
+{
+    const int64_t endNs = detail::nowNs();
+    active_ = false;
+
+    State &s = state();
+    Event ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.tsUs = double(startNs_ - s.epochNs) / 1e3;
+    ev.durUs = double(endNs - startNs_) / 1e3;
+    ev.tid = threadTid();
+    ev.args = std::move(args_);
+
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.events.size() >= kMaxEvents) {
+        ++s.dropped;
+        return;
+    }
+    s.events.push_back(std::move(ev));
+}
+
+void Span::arg(const char *key, int64_t value)
+{
+    if (!active_)
+        return;
+    args_.push_back(Arg{key, std::to_string(value), false});
+}
+
+void Span::arg(const char *key, double value)
+{
+    if (!active_)
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    args_.push_back(Arg{key, buf, false});
+}
+
+void Span::arg(const char *key, const char *value)
+{
+    if (!active_)
+        return;
+    args_.push_back(Arg{key, value, true});
+}
+
+void Span::arg(const char *key, const std::string &value)
+{
+    if (!active_)
+        return;
+    args_.push_back(Arg{key, value, true});
+}
+
+void setEnabled(bool on)
+{
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+void setOutputPath(const std::string &path)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.path = path;
+}
+
+std::string outputPath()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.path;
+}
+
+void clear()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.events.clear();
+    s.dropped = 0;
+}
+
+int64_t eventCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return static_cast<int64_t>(s.events.size());
+}
+
+int64_t droppedCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.dropped;
+}
+
+std::vector<Event> snapshotEvents()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.events;
+}
+
+void writeChromeTrace(std::ostream &os)
+{
+    const std::vector<Event> events = snapshotEvents();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &ev : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"";
+        jsonEscape(os, ev.name);
+        os << "\",\"cat\":\"";
+        jsonEscape(os, ev.cat);
+        os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", ev.tsUs);
+        os << ",\"ts\":" << buf;
+        std::snprintf(buf, sizeof(buf), "%.3f", ev.durUs);
+        os << ",\"dur\":" << buf;
+        if (!ev.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const Arg &a : ev.args) {
+                if (!firstArg)
+                    os << ",";
+                firstArg = false;
+                os << "\"";
+                jsonEscape(os, a.key);
+                os << "\":";
+                if (a.quoted) {
+                    os << "\"";
+                    jsonEscape(os, a.value);
+                    os << "\"";
+                } else {
+                    os << a.value;
+                }
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool flushToConfiguredPath()
+{
+    const std::string path = outputPath();
+    if (path.empty())
+        return false;
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return out.good();
+}
+
+} // namespace trace
+} // namespace ll

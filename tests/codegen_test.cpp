@@ -17,6 +17,7 @@
 #include "codegen/tiles.h"
 #include "codegen/vectorize.h"
 #include "layout/dims.h"
+#include "support/diagnostics.h"
 #include "triton/encodings.h"
 
 namespace ll {
@@ -592,6 +593,42 @@ TEST(Gather, CrossWarpOtherAxisIsAccepted)
     auto plan = planGather(l, 1, sim::GpuSpec::gh200());
     ASSERT_TRUE(plan.has_value());
     EXPECT_EQ(plan->rounds, 32);
+}
+
+// ----------------------------------------------------------------------
+// Structured invalid-input handling (Lemma 9.4 precondition)
+// ----------------------------------------------------------------------
+
+TEST(Swizzle, AnalyticWavefrontsRejectsPaddedInputStructurally)
+{
+    // Lemma 9.4's per-access uniformity does not survive padding, so a
+    // padded swizzle is an invalid *input* to the analytic pricer: the
+    // structured API must hand back a Diagnostic (not crash, not
+    // silently misprice), and the throwing wrapper must surface it as
+    // UserError.
+    triton::Shape shape = {64, 64};
+    auto rowMajor = blocked({16, 1}, {2, 16}, {2, 2}, {1, 0}, shape);
+    auto colMajor = blocked({1, 16}, {16, 2}, {2, 2}, {0, 1}, shape);
+    auto spec = sim::GpuSpec::gh200();
+    auto swz = computeOptimalSwizzle(rowMajor, colMajor, 1, spec);
+    swz.padInterval = 32;
+    swz.padElems = 4;
+    ASSERT_TRUE(swz.padded());
+
+    auto priced = tryAnalyticWavefronts(swz, rowMajor, 1, spec);
+    ASSERT_FALSE(priced.ok());
+    EXPECT_EQ(priced.diag().code, DiagCode::InvalidInput);
+    EXPECT_EQ(priced.diag().stage, "swizzle.analytic");
+
+    EXPECT_THROW(analyticWavefronts(swz, rowMajor, 1, spec), UserError);
+
+    // The same swizzle unpadded prices fine — the rejection really is
+    // about the padding, not the layouts.
+    swz.padInterval = 0;
+    swz.padElems = 0;
+    auto clean = tryAnalyticWavefronts(swz, rowMajor, 1, spec);
+    ASSERT_TRUE(clean.ok());
+    EXPECT_GE(*clean, 1);
 }
 
 } // namespace

@@ -37,6 +37,17 @@
  * demands the engine-style demotion survives with a bit-exact oracle
  * verdict. The run fails unless every pooled site was hit at least once
  * within the --iters budget.
+ *
+ * --failpoint-pairs forces a random *pair* per iteration: one executor
+ * site one-shot (to trigger a demotion) plus one planner site held
+ * active (so the demoted re-plan may fail its next rung too, or —
+ * when the pair knocks out the terminal scalar rung — fail planning
+ * outright, the demote-then-plan-fail path the engine downgrades
+ * through). Unlike --failpoint-coverage, the planner pool here
+ * includes "plan.scalar". The run demands no exception ever escapes,
+ * every surviving demotion is oracle-clean, and that the budget
+ * reached at least one demotion and at least one demote-then-plan-fail
+ * terminal.
  */
 
 #include <cstring>
@@ -67,6 +78,7 @@ struct Options
     bool injectBug = false;
     double failpointRate = 0.0;
     bool failpointCoverage = false;
+    bool failpointPairs = false;
     bool verbose = false;
 };
 
@@ -77,7 +89,8 @@ usage()
         << "usage: llfuzz [--seed N] [--iters M] [--max-rank R]\n"
            "              [--emit-corpus DIR] [--replay FILE]\n"
            "              [--inject-bug] [--failpoint-rate P]\n"
-           "              [--failpoint-coverage] [--verbose]\n";
+           "              [--failpoint-coverage] [--failpoint-pairs]\n"
+           "              [--verbose]\n";
 }
 
 bool
@@ -121,6 +134,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.injectBug = true;
         } else if (arg == "--failpoint-coverage") {
             opt.failpointCoverage = true;
+        } else if (arg == "--failpoint-pairs") {
+            opt.failpointPairs = true;
         } else if (arg == "--failpoint-rate") {
             const char *v = needValue("--failpoint-rate");
             if (!v)
@@ -432,6 +447,127 @@ runFailpointCoverage(const Options &opt)
     return 0;
 }
 
+/**
+ * Force random (planner, executor) failpoint pairs against the
+ * deterministic probes: the executor site (one- or two-shot) triggers
+ * execution failures and demotions, while the held planner site
+ * narrows where each demoted re-plan may land. The pool deliberately
+ * includes "plan.scalar" — pairing it with a two-shot shared executor
+ * fault walks SharedMemory -> SharedPadded -> (re-plan, terminal rung
+ * knocked out) -> plan failure, the demote-then-plan-fail path the
+ * engine downgrades to convert:unplanned. A deterministic probe of
+ * exactly that pair runs after the random sweep so the terminal path
+ * is exercised on every run regardless of what the sweep drew.
+ */
+int
+runFailpointPairs(const Options &opt)
+{
+    failpoint::clearAll();
+    std::mt19937 rng(opt.seed);
+
+    auto plannerPool = codegen::plannerFailpointSites();
+    plannerPool.push_back("plan.scalar");
+    std::vector<std::string> execPool;
+    for (const auto &s : codegen::executionFailpointSites()) {
+        // Gather executors are not on the conversion path; pairing
+        // them with a planner site can never demote a conversion.
+        if (!startsWith(s, "exec.gather."))
+            execPool.push_back(s);
+    }
+
+    check::ConversionCase shuffleCase;
+    shuffleCase.src =
+        coverageBlocked({1, 4}, {8, 4}, {2, 2}, {1, 0}, {16, 64});
+    shuffleCase.dst =
+        coverageBlocked({4, 1}, {2, 16}, {2, 2}, {1, 0}, {16, 64});
+    shuffleCase.summary = "pairs shuffle probe";
+    check::ConversionCase sharedCase;
+    sharedCase.src = shuffleCase.src;
+    sharedCase.dst =
+        coverageBlocked({1, 4}, {8, 4}, {4, 1}, {1, 0}, {16, 64});
+    sharedCase.summary = "pairs shared probe";
+
+    int64_t demotions = 0;
+    int64_t terminals = 0; ///< demote-then-plan-fail (or terminal-rung)
+    int64_t survivals = 0;
+
+    auto runPair = [&](const std::string &planSite,
+                       const std::string &execSite,
+                       int64_t execShots) -> bool {
+        const auto &c = startsWith(execSite, "exec.shuffle.")
+                            ? shuffleCase
+                            : sharedCase;
+        check::DemotionReport dr;
+        try {
+            failpoint::Scoped planGuard(planSite);
+            failpoint::Scoped execGuard(execSite, execShots);
+            dr = check::checkCaseWithDemotion(c);
+        } catch (const std::exception &e) {
+            std::cerr << "EXCEPTION forcing pair {" << planSite << ", "
+                      << execSite << " x" << execShots << "} on "
+                      << c.summary << ": " << e.what() << "\n";
+            return false;
+        }
+        demotions += dr.demotions;
+        if (!dr.survived) {
+            // The engine-survival outcome: the op would be tagged
+            // convert:unplanned and the engine carries on. Reaching it
+            // here must not corrupt anything, so just count it.
+            ++terminals;
+            return true;
+        }
+        ++survivals;
+        if (!dr.report.ok()) {
+            std::cerr << "demoted plan failed the oracle under pair {"
+                      << planSite << ", " << execSite << " x"
+                      << execShots << "} on " << c.summary << ":\n  "
+                      << dr.report.toString() << "\n";
+            for (const auto &n : dr.notes)
+                std::cerr << "  " << n << "\n";
+            return false;
+        }
+        return true;
+    };
+
+    std::uniform_int_distribution<size_t> pickPlan(
+        0, plannerPool.size() - 1);
+    std::uniform_int_distribution<size_t> pickExec(0,
+                                                   execPool.size() - 1);
+    std::uniform_int_distribution<int64_t> pickShots(1, 2);
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        const std::string planSite = plannerPool[pickPlan(rng)];
+        const std::string execSite = execPool[pickExec(rng)];
+        const int64_t shots = pickShots(rng);
+        if (opt.verbose)
+            std::cout << "[" << iter << "] pair {" << planSite << ", "
+                      << execSite << " x" << shots << "}\n";
+        if (!runPair(planSite, execSite, shots))
+            return 1;
+    }
+
+    const int64_t terminalsBefore = terminals;
+    if (!runPair("plan.scalar", "exec.shared.alloc", 2))
+        return 1;
+    if (terminals == terminalsBefore) {
+        std::cerr << "llfuzz: deterministic demote-then-plan-fail "
+                     "probe did not reach a terminal plan failure\n";
+        return 1;
+    }
+    if (demotions < 1) {
+        std::cerr << "llfuzz: failpoint pairs triggered no "
+                     "execution-triggered demotion\n";
+        return 1;
+    }
+
+    std::cout << "llfuzz: failpoint pairs: " << opt.iters
+              << " random pairs (+1 terminal probe), " << demotions
+              << " demotions, " << survivals
+              << " oracle-clean survivals, " << terminals
+              << " demote-then-plan-fail terminals (seed " << opt.seed
+              << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -450,6 +586,9 @@ main(int argc, char **argv)
 
     if (opt.failpointCoverage)
         return runFailpointCoverage(opt);
+
+    if (opt.failpointPairs)
+        return runFailpointPairs(opt);
 
     if (!opt.replayFile.empty()) {
         check::ConversionCase c;

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * llstat — observability driver: replay work through the instrumented
+ * pipeline and report the trace + metrics it produced.
+ *
+ * Three workloads, combinable in one invocation:
+ *
+ *   --corpus DIR   replay every corpus case file in DIR (the fuzzer's
+ *                  text format) through tryPlanConversion and a smoke
+ *                  execution, mirroring what the engine does per
+ *                  ConvertLayout op;
+ *   --case FILE    replay one corpus case file;
+ *   --kernels      run the Figure 9 kernel suite through LayoutEngine
+ *                  (first size knob of each kernel), the full
+ *                  assign/cleanup/plan pipeline.
+ *
+ * Reporting:
+ *
+ *   --trace PATH        write the Chrome trace-event JSON to PATH
+ *                       (tracing is force-enabled; open the file in
+ *                       Perfetto / chrome://tracing);
+ *   --metrics text|json metrics exposition format on stdout (default
+ *                       text, Prometheus-style; "none" to suppress);
+ *   --check-spans       fail (exit 1) unless every planned conversion
+ *                       produced a "plan.conversion" span carrying the
+ *                       selected rung and modeled cycles, and — with
+ *                       --kernels — every live ConvertLayout op in
+ *                       every kernel has a matching "convert.op" span.
+ *
+ * Validation:
+ *
+ *   --validate-bench-json DIR  check every BENCH_*.json in DIR against
+ *                              the benchmark report schema (name, reps,
+ *                              wall_ms.median/p90, metrics object);
+ *                              fails if DIR holds none.
+ *
+ * The --check-spans contract is what the llstat_corpus_spans ctest
+ * entry enforces: the span taxonomy documented in DESIGN.md is load
+ * bearing, not decorative.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/case_io.h"
+#include "codegen/conversion.h"
+#include "engine/layout_engine.h"
+#include "kernels.h"
+#include "support/json_lite.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+using namespace ll;
+
+namespace {
+
+struct Options
+{
+    std::string corpusDir;
+    std::string caseFile;
+    bool kernels = false;
+    std::string tracePath;
+    std::string metricsFormat = "text";
+    bool checkSpans = false;
+    std::string validateBenchDir;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: llstat [--corpus DIR] [--case FILE] [--kernels]\n"
+           "              [--trace PATH] [--metrics text|json|none]\n"
+           "              [--check-spans] [--validate-bench-json DIR]\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "llstat: " << name << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--corpus") {
+            const char *v = needValue("--corpus");
+            if (!v)
+                return false;
+            opt.corpusDir = v;
+        } else if (arg == "--case") {
+            const char *v = needValue("--case");
+            if (!v)
+                return false;
+            opt.caseFile = v;
+        } else if (arg == "--kernels") {
+            opt.kernels = true;
+        } else if (arg == "--trace") {
+            const char *v = needValue("--trace");
+            if (!v)
+                return false;
+            opt.tracePath = v;
+        } else if (arg == "--metrics") {
+            const char *v = needValue("--metrics");
+            if (!v)
+                return false;
+            opt.metricsFormat = v;
+            if (opt.metricsFormat != "text" &&
+                opt.metricsFormat != "json" &&
+                opt.metricsFormat != "none") {
+                std::cerr << "llstat: --metrics wants text, json or "
+                             "none\n";
+                return false;
+            }
+        } else if (arg == "--check-spans") {
+            opt.checkSpans = true;
+        } else if (arg == "--validate-bench-json") {
+            const char *v = needValue("--validate-bench-json");
+            if (!v)
+                return false;
+            opt.validateBenchDir = v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "llstat: unknown option " << arg << "\n";
+            usage();
+            return false;
+        }
+    }
+    if (opt.corpusDir.empty() && opt.caseFile.empty() && !opt.kernels &&
+        opt.validateBenchDir.empty()) {
+        std::cerr << "llstat: nothing to do\n";
+        usage();
+        return false;
+    }
+    return true;
+}
+
+/** One span's args, looked up by key; nullptr when absent. */
+const std::string *
+spanArg(const trace::Event &e, const char *key)
+{
+    for (const auto &a : e.args) {
+        if (std::strcmp(a.key, key) == 0)
+            return &a.value;
+    }
+    return nullptr;
+}
+
+struct ReplayTally
+{
+    int cases = 0;
+    int planned = 0;
+    int planFailed = 0;
+    int execFailed = 0;
+    int spanViolations = 0;
+};
+
+/**
+ * Replay one conversion case the way the engine treats one
+ * ConvertLayout op: structured planning, then a smoke execution of the
+ * chosen plan. With span checking on, the window of trace events this
+ * case appended must contain a "plan.conversion" span whose args carry
+ * the selected rung ("kind") and the modeled cost ("cycles").
+ */
+void
+replayCase(const check::ConversionCase &c, const std::string &label,
+           bool checkSpans, ReplayTally &tally)
+{
+    ++tally.cases;
+    const size_t before = trace::eventCount();
+    auto spec = c.spec();
+    auto plan =
+        codegen::tryPlanConversion(c.src, c.dst, c.elemBytes, spec);
+    if (plan.ok()) {
+        ++tally.planned;
+        auto fail = codegen::smokeExecutePlan(*plan, c.src, c.dst,
+                                              c.elemBytes, spec);
+        if (fail.has_value()) {
+            ++tally.execFailed;
+            std::cerr << "llstat: smoke execution failed on " << label
+                      << ": " << fail->toString() << "\n";
+        }
+    } else {
+        ++tally.planFailed;
+        std::cerr << "llstat: planning failed on " << label << ": "
+                  << plan.diag().toString() << "\n";
+    }
+
+    if (!checkSpans)
+        return;
+    bool found = false;
+    auto events = trace::snapshotEvents();
+    for (size_t i = before; i < events.size(); ++i) {
+        const auto &e = events[i];
+        if (e.name != "plan.conversion")
+            continue;
+        const std::string *kind = spanArg(e, "kind");
+        if (!kind)
+            continue;
+        if (plan.ok()) {
+            if (*kind == codegen::toString(plan->kind) &&
+                spanArg(e, "cycles")) {
+                found = true;
+                break;
+            }
+        } else if (*kind == "unplanned") {
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        ++tally.spanViolations;
+        std::cerr << "llstat: no plan.conversion span with rung + cost "
+                     "args for "
+                  << label << "\n";
+    }
+}
+
+int
+runCorpus(const Options &opt, ReplayTally &tally)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opt.corpusDir, ec)) {
+        if (entry.is_regular_file())
+            files.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::cerr << "llstat: cannot read corpus dir " << opt.corpusDir
+                  << ": " << ec.message() << "\n";
+        return 1;
+    }
+    if (files.empty()) {
+        std::cerr << "llstat: corpus dir " << opt.corpusDir
+                  << " holds no case files\n";
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        check::ConversionCase c;
+        try {
+            c = check::readCaseFile(path);
+        } catch (const std::exception &e) {
+            std::cerr << "llstat: " << path << ": " << e.what() << "\n";
+            return 1;
+        }
+        replayCase(c, c.summary.empty() ? path : c.summary,
+                   opt.checkSpans, tally);
+    }
+    return 0;
+}
+
+/**
+ * Run the kernel suite through the engine. With span checking on, every
+ * live ConvertLayout op (tagged "convert:<kind>" or
+ * "convert:unplanned" by planConversions) must have a "convert.op"
+ * span whose "op" arg names its op index.
+ */
+int
+runKernels(const Options &opt, ReplayTally &tally)
+{
+    int violations = 0;
+    for (const auto &spec : kernels::allKernels()) {
+        auto f = spec.build(spec.sizes.front());
+        const size_t before = trace::eventCount();
+        engine::LayoutEngine eng{engine::EngineOptions{}};
+        auto stats = eng.run(f);
+        tally.planned += stats.convertsPlanned;
+        tally.planFailed += stats.planFailures;
+        tally.execFailed += stats.execFailures;
+
+        if (!opt.checkSpans)
+            continue;
+        auto events = trace::snapshotEvents();
+        for (int i = 0; i < f.numOps(); ++i) {
+            const auto &op = f.op(i);
+            if (op.erased || op.kind != ir::OpKind::ConvertLayout)
+                continue;
+            const std::string want = std::to_string(i);
+            bool found = false;
+            for (size_t e = before; e < events.size(); ++e) {
+                if (events[e].name != "convert.op")
+                    continue;
+                const std::string *idx = spanArg(events[e], "op");
+                if (idx && *idx == want) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                ++violations;
+                std::cerr << "llstat: kernel " << spec.name << " op "
+                          << i << " (" << op.tag
+                          << ") has no convert.op span\n";
+            }
+        }
+    }
+    tally.spanViolations += violations;
+    return 0;
+}
+
+/** The BENCH_<name>.json schema emitted by bench::emitBenchJson. */
+bool
+validateBenchReport(const std::string &path, const jsonlite::Value &v,
+                    std::string &why)
+{
+    (void)path;
+    if (!v.isObject()) {
+        why = "root is not an object";
+        return false;
+    }
+    const auto *name = v.find("name");
+    if (!name || !name->isString() || name->str.empty()) {
+        why = "\"name\" missing or not a non-empty string";
+        return false;
+    }
+    const auto *reps = v.find("reps");
+    if (!reps || !reps->isNumber() || reps->number < 1.0 ||
+        reps->number != static_cast<double>(
+                            static_cast<long long>(reps->number))) {
+        why = "\"reps\" missing or not an integer >= 1";
+        return false;
+    }
+    const auto *wall = v.find("wall_ms");
+    if (!wall || !wall->isObject()) {
+        why = "\"wall_ms\" missing or not an object";
+        return false;
+    }
+    for (const char *field : {"median", "p90"}) {
+        const auto *x = wall->find(field);
+        if (!x || !x->isNumber() || x->number < 0.0) {
+            why = std::string("\"wall_ms.") + field +
+                  "\" missing or not a number >= 0";
+            return false;
+        }
+    }
+    const auto *metrics = v.find("metrics");
+    if (!metrics || !metrics->isObject()) {
+        why = "\"metrics\" missing or not an object";
+        return false;
+    }
+    for (const auto &[key, val] : metrics->members) {
+        if (!val.isNumber()) {
+            why = "metric \"" + key + "\" is not a number";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+runValidateBenchJson(const Options &opt)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opt.validateBenchDir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string base = entry.path().filename().string();
+        if (base.rfind("BENCH_", 0) == 0 &&
+            base.size() > 11 &&
+            base.compare(base.size() - 5, 5, ".json") == 0)
+            files.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::cerr << "llstat: cannot read " << opt.validateBenchDir
+                  << ": " << ec.message() << "\n";
+        return 1;
+    }
+    if (files.empty()) {
+        std::cerr << "llstat: no BENCH_*.json found in "
+                  << opt.validateBenchDir << "\n";
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+    int bad = 0;
+    for (const auto &path : files) {
+        std::ifstream is(path);
+        std::ostringstream text;
+        text << is.rdbuf();
+        auto parsed = jsonlite::parse(text.str());
+        if (!parsed.has_value()) {
+            std::cerr << "llstat: " << path << ": malformed JSON\n";
+            ++bad;
+            continue;
+        }
+        std::string why;
+        if (!validateBenchReport(path, *parsed, why)) {
+            std::cerr << "llstat: " << path << ": " << why << "\n";
+            ++bad;
+            continue;
+        }
+        std::cout << "llstat: " << path << " ok\n";
+    }
+    std::cout << "llstat: validated " << files.size()
+              << " bench report(s), " << bad << " invalid\n";
+    return bad ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    if (!opt.validateBenchDir.empty()) {
+        int rc = runValidateBenchJson(opt);
+        if (rc != 0)
+            return rc;
+        if (opt.corpusDir.empty() && opt.caseFile.empty() &&
+            !opt.kernels)
+            return 0;
+    }
+
+    // Span checking and explicit trace output both need the tracer on,
+    // LL_TRACE or not.
+    if (opt.checkSpans || !opt.tracePath.empty())
+        trace::setEnabled(true);
+    if (!opt.tracePath.empty())
+        trace::setOutputPath(opt.tracePath);
+
+    ReplayTally tally;
+    if (!opt.caseFile.empty()) {
+        check::ConversionCase c;
+        try {
+            c = check::readCaseFile(opt.caseFile);
+        } catch (const std::exception &e) {
+            std::cerr << "llstat: " << e.what() << "\n";
+            return 2;
+        }
+        replayCase(c, c.summary.empty() ? opt.caseFile : c.summary,
+                   opt.checkSpans, tally);
+    }
+    if (!opt.corpusDir.empty()) {
+        if (int rc = runCorpus(opt, tally))
+            return rc;
+    }
+    if (opt.kernels) {
+        if (int rc = runKernels(opt, tally))
+            return rc;
+    }
+
+    std::cout << "llstat: " << tally.cases << " case(s) replayed, "
+              << tally.planned << " planned, " << tally.planFailed
+              << " plan failures, " << tally.execFailed
+              << " exec failures\n";
+    if (opt.checkSpans)
+        std::cout << "llstat: span check "
+                  << (tally.spanViolations ? "FAILED" : "ok") << " ("
+                  << tally.spanViolations << " violation(s))\n";
+
+    if (!opt.tracePath.empty()) {
+        if (trace::flushToConfiguredPath())
+            std::cout << "llstat: trace written to " << opt.tracePath
+                      << " (" << trace::eventCount() << " events, "
+                      << trace::droppedCount() << " dropped)\n";
+        else
+            std::cerr << "llstat: could not write trace to "
+                      << opt.tracePath << "\n";
+    }
+
+    if (opt.metricsFormat == "text")
+        metrics::Registry::instance().writeText(std::cout);
+    else if (opt.metricsFormat == "json")
+        metrics::Registry::instance().writeJson(std::cout);
+
+    return tally.spanViolations ? 1 : 0;
+}
