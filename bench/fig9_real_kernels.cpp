@@ -22,6 +22,7 @@
 #include "engine/layout_engine.h"
 #include "kernels.h"
 #include "legacy/legacy_cost.h"
+#include "service/plan_cache.h"
 
 namespace {
 
@@ -101,6 +102,51 @@ printTable()
                 platformCases[1], platformCases[2]);
 }
 
+/**
+ * Plan-cache amortization over the suite: a second engine pass against
+ * a shared service::PlanCache serves the conversions the first pass
+ * planned, which is the compilation-service deployment story (llserve
+ * measures the same effect under a thread pool).
+ */
+void
+printPlanCacheAmortization()
+{
+    bench::printHeader(
+        "Plan-cache amortization: two engine passes over the suite "
+        "(GH200, shared service::PlanCache)");
+    service::PlanCache cache;
+    engine::EngineOptions options;
+    options.planCache = &cache;
+    engine::EngineStats pass1, pass2;
+    for (int pass = 0; pass < 2; ++pass) {
+        engine::EngineStats &total = pass == 0 ? pass1 : pass2;
+        for (const auto &k : kernels::allKernels()) {
+            for (int32_t size : k.sizes) {
+                ir::Function f = k.build(size);
+                engine::LayoutEngine eng{options};
+                auto stats = eng.run(f);
+                total.convertsPlanned += stats.convertsPlanned;
+                total.planCacheHits += stats.planCacheHits;
+                total.planCacheMisses += stats.planCacheMisses;
+                total.smokeCacheHits += stats.smokeCacheHits;
+            }
+        }
+    }
+    std::printf("%-8s %10s %10s %10s %12s\n", "pass", "planned",
+                "cache-hit", "cache-miss", "smoke-hit");
+    std::printf("%-8s %10d %10d %10d %12d\n", "cold",
+                pass1.convertsPlanned, pass1.planCacheHits,
+                pass1.planCacheMisses, pass1.smokeCacheHits);
+    std::printf("%-8s %10d %10d %10d %12d\n", "warm",
+                pass2.convertsPlanned, pass2.planCacheHits,
+                pass2.planCacheMisses, pass2.smokeCacheHits);
+    const int looks = pass2.planCacheHits + pass2.planCacheMisses;
+    std::printf("warm-pass hit rate: %.1f%% (%lld cached plan(s) "
+                "resident)\n",
+                looks > 0 ? 100.0 * pass2.planCacheHits / looks : 0.0,
+                static_cast<long long>(cache.size()));
+}
+
 void
 BM_EngineOnKernel(benchmark::State &state)
 {
@@ -123,7 +169,10 @@ BENCHMARK(BM_EngineOnKernel)->Arg(0)->Arg(5)->Arg(8);
 int
 main(int argc, char **argv)
 {
-    ll::bench::emitBenchJson("fig9_real_kernels", [] { printTable(); });
+    ll::bench::emitBenchJson("fig9_real_kernels", [] {
+        printTable();
+        printPlanCacheAmortization();
+    });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -231,6 +231,62 @@ parseConversionKind(const std::string &s)
     return std::nullopt;
 }
 
+std::string
+describePlan(const ConversionPlan &plan)
+{
+    std::string out = "kind=" + toString(plan.kind);
+    if (plan.shuffle) {
+        const WarpShufflePlan &s = *plan.shuffle;
+        out += " shuffle{vec=" + std::to_string(s.vecElems) +
+               " rounds=" + std::to_string(s.rounds) +
+               " regsA=" + std::to_string(s.numRegsA) +
+               " regsB=" + std::to_string(s.numRegsB) +
+               " warp=" + std::to_string(s.warpSize);
+        // FNV-1a over every transfer: cheap to render, and any change
+        // to any round's schedule changes the digest.
+        uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        for (const auto &round : s.xfers) {
+            mix(round.size());
+            for (const ShuffleXfer &x : round) {
+                mix(static_cast<uint64_t>(
+                    static_cast<int64_t>(x.srcLane)));
+                mix(x.regPairs.size());
+                for (const auto &[a, b] : x.regPairs) {
+                    mix(static_cast<uint64_t>(static_cast<int64_t>(a)));
+                    mix(static_cast<uint64_t>(static_cast<int64_t>(b)));
+                }
+            }
+        }
+        out += " xfers#" + std::to_string(h) + "}";
+    }
+    if (plan.shared) {
+        const SwizzledShared &m = *plan.shared;
+        out += " shared{vecBits=" + std::to_string(m.vecBits) +
+               " bankBits=" + std::to_string(m.bankBits) +
+               " idxBits=" + std::to_string(m.idxBits) +
+               " padInterval=" + std::to_string(m.padInterval) +
+               " padElems=" + std::to_string(m.padElems) +
+               " windowElems=" + std::to_string(m.windowElems) +
+               " mem=" + m.memLayout.toString() +
+               " tensorToOffset=" + m.tensorToOffset.toString() + "}";
+    }
+    out += std::string(" ldmatrix=") + (plan.usesLdmatrix ? "1" : "0") +
+           " stmatrix=" + (plan.usesStmatrix ? "1" : "0") +
+           " wavefronts{store/access=" +
+           std::to_string(plan.storeWavefrontsPerAccess) +
+           " load/access=" +
+           std::to_string(plan.loadWavefrontsPerAccess) +
+           " store=" + std::to_string(plan.storeWavefrontsTotal) +
+           " load=" + std::to_string(plan.loadWavefrontsTotal) + "}";
+    if (!plan.diagnostics.empty())
+        out += " notes=[" + plan.diagnostics.toString() + "]";
+    return out;
+}
+
 std::vector<std::string>
 plannerFailpointSites()
 {

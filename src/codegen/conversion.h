@@ -160,6 +160,19 @@ smokeExecutePlan(const ConversionPlan &plan, const LinearLayout &src,
                  const LinearLayout &dst, int elemBytes,
                  const sim::GpuSpec &spec);
 
+/**
+ * Deterministic, exhaustive rendering of a plan: kind, the shuffle
+ * schedule digest (vec/rounds/regs plus a checksum over every
+ * transfer), the shared scratch layouts with padding and window
+ * parameters, ldmatrix/stmatrix selection, wavefront accounting, and
+ * the diagnostic notes. Two plans render identically iff they describe
+ * the same lowering, so cached plans can be compared bit-for-bit
+ * against freshly planned ones. Plans are immutable after planning
+ * (every member function is const), which is what lets the service
+ * share one `shared_ptr<const ConversionPlan>` across threads.
+ */
+std::string describePlan(const ConversionPlan &plan);
+
 } // namespace codegen
 } // namespace ll
 

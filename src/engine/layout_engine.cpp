@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "codegen/conversion.h"
 #include "codegen/shuffle.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
+#include "service/plan_cache.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -402,6 +404,46 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         const auto &type = f.value(o.results[0]).type;
         int elemBytes = std::max(1, bitWidth(type.dtype) / 8);
         LinearLayout dst = want->transposeOuts(have->getOutDimNames());
+
+        // Shared plan cache: a hit serves the whole op — memoized plan
+        // or memoized rejection — without planning or smoke-executing,
+        // so the per-run smoke cache below is never consulted and the
+        // two caches cannot double count.
+        std::optional<service::PlanKey> cacheKey;
+        if (options_.planCache != nullptr) {
+            cacheKey = options_.planCache->key(*have, dst, elemBytes,
+                                               options_.spec);
+            if (auto cached = options_.planCache->lookup(*cacheKey)) {
+                if (cached->negative()) {
+                    o.tag = "convert:unplanned";
+                    ++stats.planFailures;
+                    ++stats.planCacheNegativeHits;
+                    stats.planDiagnostics.push_back(
+                        "op " + std::to_string(i) + " (plan-cache): " +
+                        cached->rejection->toString());
+                    opSpan.arg("outcome", "unplanned");
+                    opSpan.arg("plan_cache", "negative-hit");
+                } else {
+                    const codegen::ConversionPlan &hit = *cached->plan;
+                    o.tag = "convert:" + codegen::toString(hit.kind);
+                    ++stats.convertsPlanned;
+                    ++stats.planCacheHits;
+                    if (!hit.diagnostics.empty()) {
+                        ++stats.planFallbacks;
+                        stats.planDiagnostics.push_back(
+                            "op " + std::to_string(i) + " (" + o.tag +
+                            "): " + hit.diagnostics.toString());
+                    }
+                    if (opSpan.active()) {
+                        opSpan.arg("outcome", o.tag);
+                        opSpan.arg("plan_cache", "hit");
+                    }
+                }
+                continue;
+            }
+            ++stats.planCacheMisses;
+        }
+
         auto tryPlan = [&]() -> Result<codegen::ConversionPlan> {
             try {
                 return codegen::tryPlanConversion(*have, dst, elemBytes,
@@ -415,6 +457,13 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         };
         auto plan = tryPlan();
         if (!plan.ok()) {
+            // Deterministic rejections are worth memoizing; the cache
+            // itself refuses every other code and anything planned
+            // while a failpoint is active.
+            if (cacheKey &&
+                plan.diag().code == DiagCode::InvalidInput)
+                options_.planCache->insertRejection(*cacheKey,
+                                                    plan.diag());
             o.tag = "convert:unplanned";
             ++stats.planFailures;
             stats.planDiagnostics.push_back(
@@ -470,7 +519,10 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
                 break;
             }
             auto replanned = [&]() {
-                failpoint::ScopedSet guard(std::move(knockout));
+                // Thread-local overlay: under the compilation service,
+                // a global ScopedSet would leak this op's knockouts
+                // into concurrently planning threads.
+                failpoint::ScopedThreadLocal guard(std::move(knockout));
                 return tryPlan();
             }();
             if (!replanned.ok()) {
@@ -503,6 +555,13 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
             opSpan.arg("outcome", "exec-failure");
             continue;
         }
+
+        // Only undemoted plans are offered to the shared cache: a plan
+        // that survived demotion encodes this run's execution failures,
+        // not the pure planning function of the key. The cache applies
+        // its own failpoint policy on top.
+        if (cacheKey && demotions == 0)
+            options_.planCache->insert(*cacheKey, *plan);
 
         o.tag = "convert:" + codegen::toString(plan->kind);
         ++stats.convertsPlanned;
@@ -546,6 +605,10 @@ LayoutEngine::run(ir::Function &f)
     mirror("engine.plan_failures", stats.planFailures);
     mirror("engine.transfer_fallbacks", stats.transferFallbacks);
     mirror("engine.exec_failures", stats.execFailures);
+    mirror("engine.plan_cache_hits", stats.planCacheHits);
+    mirror("engine.plan_cache_negative_hits",
+           stats.planCacheNegativeHits);
+    mirror("engine.plan_cache_misses", stats.planCacheMisses);
     static auto &runsC = metrics::counter("engine.runs");
     runsC.inc();
     // engine.exec_fallbacks and engine.smoke.cache_hits are counted at

@@ -25,6 +25,11 @@
 #include "sim/gpu_spec.h"
 
 namespace ll {
+
+namespace service {
+class PlanCache;
+}
+
 namespace engine {
 
 struct EngineOptions
@@ -39,6 +44,16 @@ struct EngineOptions
      *  EngineStats::smokeCacheHits and the "engine.smoke.cache_hits"
      *  metric. */
     bool cacheSmokeResults = true;
+    /** Shared, sharded plan cache (borrowed, not owned; nullptr
+     *  disables). A cache hit serves the memoized plan — or a memoized
+     *  InvalidInput rejection — without planning or smoke-executing
+     *  anything, and is counted in EngineStats::planCacheHits /
+     *  planCacheNegativeHits, distinct from the per-run smoke-verdict
+     *  cache above (a plan-cache hit never touches the smoke cache, so
+     *  the two never double count one op). Plans that survived
+     *  demotion, were shaped by failpoints, or were planned while any
+     *  failpoint was active are never inserted. */
+    service::PlanCache *planCache = nullptr;
 };
 
 struct EngineStats
@@ -69,6 +84,16 @@ struct EngineStats
     /** Smoke executions skipped because an identical conversion already
      *  passed earlier in the run (see EngineOptions::cacheSmokeResults). */
     int smokeCacheHits = 0;
+    /** Conversions served whole from the shared plan cache
+     *  (EngineOptions::planCache): no planning, no smoke execution, no
+     *  smoke-cache involvement. Mirrored as "engine.plan_cache_hits";
+     *  the cache's own counters live under "service.plan_cache.*". */
+    int planCacheHits = 0;
+    /** Conversions rejected from a memoized InvalidInput entry; also
+     *  counted in planFailures (the op is tagged convert:unplanned). */
+    int planCacheNegativeHits = 0;
+    /** Conversions that consulted the shared plan cache and missed. */
+    int planCacheMisses = 0;
     /** Human-readable notes from every fallback or failure, in op
      *  order. */
     std::vector<std::string> planDiagnostics;

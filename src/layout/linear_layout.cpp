@@ -935,6 +935,42 @@ LinearLayout::operator==(const LinearLayout &other) const
     return bases_ == other.bases_ && outDims_ == other.outDims_;
 }
 
+uint64_t
+LinearLayout::structuralHash() const
+{
+    // FNV-1a over everything operator== compares: input dim names in
+    // order, their basis coordinates, and the named/sized output dims.
+    // Layouts that compare equal hash equal; the interner relies on it.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixString = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= 0xff; // terminator so "ab","c" != "a","bc"
+        h *= 1099511628211ull;
+    };
+    for (const auto &[inDim, vecs] : bases_) {
+        mixString(inDim);
+        mix(vecs.size());
+        for (const auto &basis : vecs) {
+            for (int32_t coord : basis)
+                mix(static_cast<uint64_t>(static_cast<uint32_t>(coord)));
+        }
+    }
+    for (const auto &[outDim, size] : outDims_) {
+        mixString(outDim);
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(size)));
+    }
+    return h;
+}
+
 bool
 LinearLayout::equalsIgnoringOutSizes(const LinearLayout &other) const
 {

@@ -282,6 +282,15 @@ class LinearLayout
      */
     bool equalsIgnoringOutSizes(const LinearLayout &other) const;
 
+    /**
+     * Structural hash consistent with operator==: covers the labeled
+     * input dims, every F2 basis coordinate, and the named/sized output
+     * dims. This is the hash-consing key of the service-layer layout
+     * interner (service::LayoutInterner), where equal layouts must
+     * collapse to one canonical object.
+     */
+    uint64_t structuralHash() const;
+
     std::string toString() const;
 
   private:

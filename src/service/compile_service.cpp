@@ -1,0 +1,201 @@
+#include "service/compile_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace ll {
+namespace service {
+
+namespace {
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    size_t rank = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+}
+
+metrics::Histogram &
+latencyHistogram()
+{
+    static auto &h = metrics::Registry::instance().histogram(
+        "service.request_latency_us",
+        {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+         100000});
+    return h;
+}
+
+/** Run one request into its response slot. Never throws. */
+void
+executeRequest(const CompileRequest &req,
+               const engine::EngineOptions &engineOptions,
+               PlanCache *cache, CompileResponse &resp)
+{
+    trace::Span span("service.request", "service");
+    if (span.active())
+        span.arg("name", req.name);
+    resp.name = req.name;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        if (req.build) {
+            ir::Function f = req.build();
+            engine::LayoutEngine eng{engineOptions};
+            resp.stats = eng.run(f);
+            resp.ok = resp.stats.planFailures == 0 &&
+                      resp.stats.execFailures == 0;
+            if (!resp.ok)
+                resp.error = "engine downgraded " +
+                             std::to_string(resp.stats.planFailures +
+                                            resp.stats.execFailures) +
+                             " conversion(s) to convert:unplanned";
+        } else if (req.conversion) {
+            const ConversionRequest &c = *req.conversion;
+            auto outcome = serveConversion(cache, c.src, c.dst,
+                                           c.elemBytes, c.spec);
+            resp.ok = outcome.planned();
+            resp.error = outcome.error;
+            if (outcome.fromCache) {
+                if (outcome.cachedRejection) {
+                    resp.stats.planCacheNegativeHits = 1;
+                    resp.stats.planFailures = 1;
+                } else {
+                    resp.stats.planCacheHits = 1;
+                    resp.stats.convertsPlanned = 1;
+                }
+            } else {
+                if (cache != nullptr)
+                    resp.stats.planCacheMisses = 1;
+                if (outcome.execFailed)
+                    resp.stats.execFailures = 1;
+                else if (outcome.plan)
+                    resp.stats.convertsPlanned = 1;
+                else
+                    resp.stats.planFailures = 1;
+            }
+        } else {
+            resp.error = "request carries neither a kernel builder nor "
+                         "a conversion";
+        }
+    } catch (const std::exception &e) {
+        resp.ok = false;
+        resp.error = e.what();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    resp.latencyUs =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    latencyHistogram().observe(resp.latencyUs);
+    if (span.active())
+        span.arg("outcome", resp.ok ? "ok" : "failed");
+}
+
+} // namespace
+
+void
+accumulateStats(engine::EngineStats &into,
+                const engine::EngineStats &from)
+{
+    into.convertsInserted += from.convertsInserted;
+    into.convertsEliminated += from.convertsEliminated;
+    into.convertsPlanned += from.convertsPlanned;
+    into.planFallbacks += from.planFallbacks;
+    into.planFailures += from.planFailures;
+    into.transferFallbacks += from.transferFallbacks;
+    into.execFallbacks += from.execFallbacks;
+    into.execFailures += from.execFailures;
+    into.smokeCacheHits += from.smokeCacheHits;
+    into.planCacheHits += from.planCacheHits;
+    into.planCacheNegativeHits += from.planCacheNegativeHits;
+    into.planCacheMisses += from.planCacheMisses;
+    into.planDiagnostics.insert(into.planDiagnostics.end(),
+                                from.planDiagnostics.begin(),
+                                from.planDiagnostics.end());
+    for (const auto &[name, delta] : from.metrics)
+        into.metrics[name] += delta;
+}
+
+CompileService::CompileService(Options options)
+    : options_(std::move(options))
+{
+}
+
+ServiceReport
+CompileService::run(const std::vector<CompileRequest> &requests)
+{
+    trace::Span span("service.batch", "service");
+    static auto &runs = metrics::counter("service.batch.runs");
+    runs.inc();
+
+    ServiceReport report;
+    report.threads = std::max(options_.threads, 1);
+    report.requests = static_cast<int64_t>(requests.size());
+    report.responses.resize(requests.size());
+
+    engine::EngineOptions engineOptions = options_.engine;
+    engineOptions.planCache = options_.cache;
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            const size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= requests.size())
+                return;
+            executeRequest(requests[i], engineOptions, options_.cache,
+                           report.responses[i]);
+        }
+    };
+    if (report.threads == 1 || requests.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(report.threads));
+        for (int t = 0; t < report.threads; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+    const auto wall1 = std::chrono::steady_clock::now();
+    report.wallMs =
+        std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+
+    static auto &served = metrics::counter("service.requests");
+    served.add(report.requests);
+    std::vector<double> latencies;
+    latencies.reserve(report.responses.size());
+    for (const auto &resp : report.responses) {
+        if (!resp.ok)
+            ++report.failures;
+        latencies.push_back(resp.latencyUs);
+        accumulateStats(report.totals, resp.stats);
+    }
+    if (report.failures > 0) {
+        static auto &failures =
+            metrics::counter("service.request_failures");
+        failures.add(report.failures);
+    }
+    report.p50LatencyUs = percentile(latencies, 50.0);
+    report.p90LatencyUs = percentile(latencies, 90.0);
+    report.requestsPerSec =
+        report.wallMs > 0.0
+            ? static_cast<double>(report.requests) * 1e3 / report.wallMs
+            : 0.0;
+    if (span.active()) {
+        span.arg("requests", report.requests);
+        span.arg("threads", report.threads);
+        span.arg("failures", report.failures);
+    }
+    return report;
+}
+
+} // namespace service
+} // namespace ll

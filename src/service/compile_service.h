@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CompileService: a thread-pool batch driver over the layout engine
+ * and the shared plan cache.
+ *
+ * A serving deployment compiles many kernels against one GPU model;
+ * the conversions they need overlap heavily. CompileService accepts a
+ * batch of requests — whole-kernel compilations (an IR builder run
+ * through LayoutEngine) or single conversions — and drains them with N
+ * worker threads that all plan against one PlanCache, so the first
+ * thread to need a conversion pays for planning and everyone else
+ * shares the immutable plan. Per-request EngineStats (metric deltas
+ * included) are captured into each worker's own response slot and
+ * summed after the join, so aggregation is race-free by construction.
+ *
+ * Spans: "service.batch" wraps the whole run, "service.request" (cat
+ * "service") wraps each request with name/outcome args. Metrics:
+ * service.requests, service.request_failures, service.batch.runs, and
+ * the "service.request_latency_us" histogram.
+ */
+
+#ifndef LL_SERVICE_COMPILE_SERVICE_H
+#define LL_SERVICE_COMPILE_SERVICE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/layout_engine.h"
+#include "ir/function.h"
+#include "service/conversion_service.h"
+#include "service/plan_cache.h"
+
+namespace ll {
+namespace service {
+
+/** A single-conversion request (e.g. one corpus case). */
+struct ConversionRequest
+{
+    LinearLayout src;
+    LinearLayout dst;
+    int elemBytes = 2;
+    sim::GpuSpec spec;
+};
+
+/** One unit of work: exactly one of `build` / `conversion` is set. */
+struct CompileRequest
+{
+    std::string name;
+    /** Kernel compilation: build the IR, run it through LayoutEngine. */
+    std::function<ir::Function()> build;
+    /** Single conversion served through serveConversion(). Shared so a
+     *  --repeat stream does not copy layouts per occurrence. */
+    std::shared_ptr<const ConversionRequest> conversion;
+};
+
+struct CompileResponse
+{
+    std::string name;
+    bool ok = false;
+    std::string error;
+    double latencyUs = 0.0;
+    /** Kernel requests: the engine's full per-run stats. Conversion
+     *  requests: plan-cache fields only (planCacheHits et al.). */
+    engine::EngineStats stats;
+};
+
+struct ServiceReport
+{
+    std::vector<CompileResponse> responses;
+    int threads = 0;
+    double wallMs = 0.0;
+    int64_t requests = 0;
+    int64_t failures = 0;
+    /** Sum over responses (kernel stats + conversion outcomes). */
+    engine::EngineStats totals;
+    double p50LatencyUs = 0.0;
+    double p90LatencyUs = 0.0;
+    double requestsPerSec = 0.0;
+};
+
+class CompileService
+{
+  public:
+    struct Options
+    {
+        int threads = 4;
+        /** Shared plan cache; nullptr = every request plans fresh. */
+        PlanCache *cache = nullptr;
+        /** Engine configuration for kernel requests. The planCache
+         *  field is overwritten with `cache` per run. */
+        engine::EngineOptions engine;
+    };
+
+    explicit CompileService(Options options);
+
+    /** Drain the batch with `threads` workers. Blocks until done. */
+    ServiceReport run(const std::vector<CompileRequest> &requests);
+
+  private:
+    Options options_;
+};
+
+/** Sum `from` into `into`: every counter field plus the metric deltas;
+ *  planDiagnostics are appended. */
+void accumulateStats(engine::EngineStats &into,
+                     const engine::EngineStats &from);
+
+} // namespace service
+} // namespace ll
+
+#endif // LL_SERVICE_COMPILE_SERVICE_H

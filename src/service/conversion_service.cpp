@@ -1,0 +1,70 @@
+#include "service/conversion_service.h"
+
+#include "support/trace.h"
+
+namespace ll {
+namespace service {
+
+ConversionOutcome
+serveConversion(PlanCache *cache, const LinearLayout &src,
+                const LinearLayout &dst, int elemBytes,
+                const sim::GpuSpec &spec)
+{
+    trace::Span span("service.conversion", "service");
+    ConversionOutcome out;
+
+    std::optional<PlanKey> key;
+    if (cache != nullptr) {
+        key = cache->key(src, dst, elemBytes, spec);
+        if (auto hit = cache->lookup(*key)) {
+            out.fromCache = true;
+            if (hit->negative()) {
+                out.cachedRejection = true;
+                out.error = hit->rejection->toString();
+                span.arg("outcome", "cached-rejection");
+                return out;
+            }
+            out.plan = hit->plan;
+            span.arg("outcome", "cache-hit");
+            return out;
+        }
+    }
+
+    auto planned = [&]() -> Result<codegen::ConversionPlan> {
+        try {
+            return codegen::tryPlanConversion(src, dst, elemBytes, spec);
+        } catch (const std::exception &e) {
+            return makeDiag(DiagCode::PlannerInternalError,
+                            "service.plan",
+                            std::string("planner threw: ") + e.what());
+        }
+    }();
+    if (!planned.ok()) {
+        out.error = planned.diag().toString();
+        if (key)
+            cache->insertRejection(*key, planned.diag());
+        span.arg("outcome", "plan-failed");
+        return out;
+    }
+
+    auto fail = codegen::smokeExecutePlan(*planned, src, dst, elemBytes,
+                                          spec);
+    if (fail.has_value()) {
+        out.execFailed = true;
+        out.error = fail->toString();
+        out.plan = std::make_shared<const codegen::ConversionPlan>(
+            std::move(*planned));
+        span.arg("outcome", "exec-failed");
+        return out;
+    }
+
+    out.plan = std::make_shared<const codegen::ConversionPlan>(
+        std::move(*planned));
+    if (key)
+        cache->insert(*key, out.plan);
+    span.arg("outcome", "planned");
+    return out;
+}
+
+} // namespace service
+} // namespace ll

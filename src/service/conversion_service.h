@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cache-aware single-conversion service path.
+ *
+ * serveConversion() is what the compilation service does for one
+ * conversion request: consult the shared plan cache, and on a miss run
+ * the planner plus a smoke execution before publishing the plan for
+ * every later requester. It mirrors how the layout engine treats one
+ * ConvertLayout op (llstat's replayCase, made amortized); the engine
+ * itself integrates the same cache through
+ * engine::EngineOptions::planCache, with its richer demotion loop.
+ *
+ * Span: "service.conversion" (cat "service") with an "outcome" arg of
+ * cache-hit | cached-rejection | planned | plan-failed | exec-failed.
+ */
+
+#ifndef LL_SERVICE_CONVERSION_SERVICE_H
+#define LL_SERVICE_CONVERSION_SERVICE_H
+
+#include <memory>
+#include <string>
+
+#include "codegen/conversion.h"
+#include "service/plan_cache.h"
+
+namespace ll {
+namespace service {
+
+struct ConversionOutcome
+{
+    /** The (possibly shared) plan; null when planning failed. */
+    std::shared_ptr<const codegen::ConversionPlan> plan;
+    bool fromCache = false;
+    /** The failure was served from a memoized InvalidInput entry. */
+    bool cachedRejection = false;
+    /** Planning succeeded but the smoke execution failed (the plan is
+     *  still returned for diagnosis; it was not cached). */
+    bool execFailed = false;
+    /** Planner / executor failure rendering; empty on success. */
+    std::string error;
+
+    bool planned() const { return plan != nullptr && !execFailed; }
+};
+
+/**
+ * Serve one conversion request against `cache` (nullptr = plan fresh
+ * every time, the --no-cache baseline). Never throws on planner
+ * trouble: failures come back in the outcome.
+ */
+ConversionOutcome serveConversion(PlanCache *cache,
+                                  const LinearLayout &src,
+                                  const LinearLayout &dst, int elemBytes,
+                                  const sim::GpuSpec &spec);
+
+} // namespace service
+} // namespace ll
+
+#endif // LL_SERVICE_CONVERSION_SERVICE_H

@@ -1,0 +1,62 @@
+#include "service/interner.h"
+
+#include "support/metrics.h"
+
+namespace ll {
+namespace service {
+
+LayoutRef
+LayoutInterner::intern(const LinearLayout &layout)
+{
+    const uint64_t hash = layout.structuralHash();
+    Shard &shard = shards_[hash % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto &chain = shard.buckets[hash];
+    for (const auto &entry : chain) {
+        if (*entry == layout) {
+            ++shard.hits;
+            static auto &hits = metrics::counter("service.intern.hits");
+            hits.inc();
+            return entry.get();
+        }
+    }
+    ++shard.misses;
+    static auto &misses = metrics::counter("service.intern.misses");
+    misses.inc();
+    chain.push_back(std::make_unique<const LinearLayout>(layout));
+    return chain.back().get();
+}
+
+int64_t
+LayoutInterner::size() const
+{
+    int64_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[hash, chain] : shard.buckets)
+            n += static_cast<int64_t>(chain.size());
+    }
+    return n;
+}
+
+LayoutInterner::Stats
+LayoutInterner::stats() const
+{
+    Stats s;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        s.hits += shard.hits;
+        s.misses += shard.misses;
+    }
+    return s;
+}
+
+LayoutInterner &
+LayoutInterner::global()
+{
+    static LayoutInterner interner;
+    return interner;
+}
+
+} // namespace service
+} // namespace ll

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Layout interning (hash-consing) for the compilation service.
+ *
+ * Every conversion decision in the pipeline is a pure function of
+ * `(src layout, dst layout, elemBytes, GpuSpec)`, so a serving-scale
+ * deployment wants layouts to act like small value handles: cache keys
+ * must be pointer-sized and layout equality O(1) instead of a walk
+ * over the F2 basis matrices. The interner provides exactly that — a
+ * thread-safe hash-consing table mapping structurally equal
+ * LinearLayouts (LinearLayout::structuralHash + operator==) to one
+ * canonical immutable object whose address is the `LayoutRef` handle.
+ *
+ * Interned layouts live for the lifetime of the interner and are never
+ * evicted, so a LayoutRef never dangles and the plan cache may key on
+ * raw pointers. The table is sharded by hash with per-shard mutexes so
+ * concurrent compilation threads do not serialize on one lock.
+ *
+ * Metric family: service.intern.{hits,misses} (process-global).
+ */
+
+#ifndef LL_SERVICE_INTERNER_H
+#define LL_SERVICE_INTERNER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/linear_layout.h"
+
+namespace ll {
+namespace service {
+
+/**
+ * A canonical handle to an interned layout: stable for the interner's
+ * lifetime, equal as a pointer iff the layouts are structurally equal.
+ */
+using LayoutRef = const LinearLayout *;
+
+class LayoutInterner
+{
+  public:
+    LayoutInterner() = default;
+    LayoutInterner(const LayoutInterner &) = delete;
+    LayoutInterner &operator=(const LayoutInterner &) = delete;
+
+    /**
+     * The canonical object for `layout`: an existing entry when a
+     * structurally equal layout was interned before, otherwise a copy
+     * made now. The returned pointer is valid until the interner is
+     * destroyed (the global() interner: process lifetime).
+     */
+    LayoutRef intern(const LinearLayout &layout);
+
+    /** Distinct layouts interned so far. */
+    int64_t size() const;
+
+    struct Stats
+    {
+        int64_t hits = 0;   ///< intern() found an existing entry
+        int64_t misses = 0; ///< intern() created a new entry
+    };
+    Stats stats() const;
+
+    /** The process-wide interner most callers share. */
+    static LayoutInterner &global();
+
+  private:
+    static constexpr int kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** structuralHash -> entries with that hash (collision chain;
+         *  resolved with full operator== comparison). */
+        std::unordered_map<uint64_t,
+                           std::vector<std::unique_ptr<const LinearLayout>>>
+            buckets;
+        int64_t hits = 0;
+        int64_t misses = 0;
+    };
+
+    Shard shards_[kShards];
+};
+
+} // namespace service
+} // namespace ll
+
+#endif // LL_SERVICE_INTERNER_H

@@ -65,6 +65,15 @@ struct GpuSpec
     static GpuSpec rtx4090();
     static GpuSpec gh200();
     static GpuSpec mi250();
+
+    /**
+     * Stable value-identity over every field (name, geometry, feature
+     * flags, cost-model constants). Two specs with equal fingerprints
+     * plan identically, so the service-layer plan cache uses this as
+     * the GpuSpec component of its keys; a tweaked cost constant
+     * changes the fingerprint and naturally misses the cache.
+     */
+    uint64_t fingerprint() const;
 };
 
 } // namespace sim

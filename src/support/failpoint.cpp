@@ -75,22 +75,38 @@ ensureEnvParsedLocked()
     }
 }
 
+/** The calling thread's activation overlay (a stack: ScopedThreadLocal
+ *  pushes on entry and truncates back on exit). */
+std::vector<std::string> &
+threadLocalSites()
+{
+    thread_local std::vector<std::string> sites;
+    return sites;
+}
+
 } // namespace
 
 bool
 shouldFail(const std::string &site)
 {
+    bool localHit;
+    {
+        const auto &local = threadLocalSites();
+        localHit =
+            std::find(local.begin(), local.end(), site) != local.end();
+    }
     std::lock_guard<std::mutex> lock(registryMutex());
     ensureEnvParsedLocked();
     SiteState &s = registry()[site];
     ++s.hits;
-    if (!s.active)
-        return false;
-    if (s.remaining == 0)
-        return false;
-    if (s.remaining > 0)
-        --s.remaining;
-    return true;
+    // Global activations win so their shot budget drains exactly as
+    // configured even when a thread-local overlay names the same site.
+    if (s.active && s.remaining != 0) {
+        if (s.remaining > 0)
+            --s.remaining;
+        return true;
+    }
+    return localHit;
 }
 
 void
@@ -140,6 +156,42 @@ activeSites()
     }
     std::sort(out.begin(), out.end());
     return out;
+}
+
+std::vector<std::string>
+threadLocalActiveSites()
+{
+    std::vector<std::string> out = threadLocalSites();
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool
+anyActive()
+{
+    if (!threadLocalSites().empty())
+        return true;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureEnvParsedLocked();
+    for (const auto &[name, state] : registry()) {
+        if (state.active && state.remaining != 0)
+            return true;
+    }
+    return false;
+}
+
+ScopedThreadLocal::ScopedThreadLocal(std::vector<std::string> sites)
+    : restoreSize_(threadLocalSites().size())
+{
+    auto &local = threadLocalSites();
+    for (auto &s : sites)
+        local.push_back(std::move(s));
+}
+
+ScopedThreadLocal::~ScopedThreadLocal()
+{
+    threadLocalSites().resize(restoreSize_);
 }
 
 } // namespace failpoint

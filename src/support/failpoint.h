@@ -12,9 +12,20 @@
  *
  * Activation is process-global; the site map is guarded by a mutex so
  * concurrent register/hit/clear calls are safe (a prerequisite for the
- * multi-threaded engine work on the roadmap). Sites are plain strings
- * so adding one requires no central registration; `hitCount` lets tests
- * assert a guard is actually wired into the code path they think it is.
+ * multi-threaded engine work on the roadmap). Shot limits are one
+ * global budget: a site activated with limit N fires for exactly N
+ * evaluations process-wide no matter how many threads reach the guard
+ * concurrently. Sites are plain strings so adding one requires no
+ * central registration; `hitCount` lets tests assert a guard is
+ * actually wired into the code path they think it is.
+ *
+ * A second, *thread-local* activation overlay exists for callers that
+ * must disable sites for their own call stack without perturbing other
+ * threads: the engine's execution-triggered demotion re-plans under a
+ * knockout set, and under the compile service's thread pool a global
+ * activation would leak that knockout into every concurrently planning
+ * request. Thread-local activations fire for the owning thread only,
+ * are unlimited while scoped, and never touch the global shot budget.
  *
  * Environment syntax: LL_FAILPOINTS="site-a,site-b:3" activates site-a
  * until deactivated and site-b for its next 3 guard evaluations.
@@ -53,6 +64,14 @@ int64_t hitCount(const std::string &site);
 /** Currently active site names, sorted. */
 std::vector<std::string> activeSites();
 
+/** Sites active via the calling thread's local overlay, sorted. */
+std::vector<std::string> threadLocalActiveSites();
+
+/** True when any site is active for the calling thread — globally or
+ *  through its thread-local overlay. The plan cache consults this to
+ *  enforce "failures (and failpoint-shaped plans) are never cached". */
+bool anyActive();
+
 /** RAII activation for test scopes. */
 class Scoped
 {
@@ -90,6 +109,24 @@ class ScopedSet
 
   private:
     std::vector<std::string> sites_;
+};
+
+/**
+ * RAII *thread-local* activation of a site list. Sites fire only for
+ * evaluations on the constructing thread and are unlimited while the
+ * scope lives; the global registry (and its shot budgets) is untouched.
+ * Scopes nest: destruction removes exactly the sites this scope added.
+ */
+class ScopedThreadLocal
+{
+  public:
+    explicit ScopedThreadLocal(std::vector<std::string> sites);
+    ~ScopedThreadLocal();
+    ScopedThreadLocal(const ScopedThreadLocal &) = delete;
+    ScopedThreadLocal &operator=(const ScopedThreadLocal &) = delete;
+
+  private:
+    size_t restoreSize_;
 };
 
 } // namespace failpoint

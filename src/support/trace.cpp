@@ -262,5 +262,12 @@ bool flushToConfiguredPath()
     return out.good();
 }
 
+bool flushAndClear()
+{
+    const bool flushed = eventCount() > 0 && flushToConfiguredPath();
+    clear();
+    return flushed;
+}
+
 } // namespace trace
 } // namespace ll

@@ -142,6 +142,17 @@ void writeChromeTrace(std::ostream &os);
  *  no path is configured or the file cannot be opened. */
 bool flushToConfiguredPath();
 
+/**
+ * Flush-and-clear for long-running multi-engine processes that want
+ * per-run traces: write whatever the buffer holds to outputPath() (a
+ * no-op when no path is configured or the buffer is empty), then drop
+ * every recorded event *and* the dropped-event counter, so the next
+ * run starts from an empty recorder with its full soft cap available.
+ * Exposed on the CLI as `llstat --trace-reset`. Returns true when a
+ * non-empty buffer was successfully written before clearing.
+ */
+bool flushAndClear();
+
 } // namespace trace
 } // namespace ll
 

@@ -83,6 +83,86 @@ TEST_F(FailpointTest, ClearAllForgetsActivationsAndCounters)
     EXPECT_EQ(failpoint::hitCount("fp.test.clear"), 1);
 }
 
+// The limit-N budget is one global atomic ledger behind the registry
+// mutex, not a per-thread allowance: with 8 threads evaluating a
+// limit-8 site 200 times each, exactly 8 evaluations fire — no more
+// (racing decrements), no fewer — and every evaluation is counted.
+TEST_F(FailpointThreads, ShotLimitIsExactUnderThreadPool)
+{
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    constexpr int kShots = 8;
+    failpoint::activate("fp.mt.budget", kShots);
+    std::atomic<int64_t> fired{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&fired] {
+            for (int i = 0; i < kIters; ++i) {
+                if (LL_FAILPOINT("fp.mt.budget"))
+                    fired.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(fired.load(), kShots);
+    EXPECT_EQ(failpoint::hitCount("fp.mt.budget"),
+              kThreads * kIters);
+}
+
+TEST_F(FailpointTest, ScopedThreadLocalFiresOnlyOnOwningThread)
+{
+    failpoint::ScopedThreadLocal guard({"fp.tl.mine"});
+    EXPECT_TRUE(LL_FAILPOINT("fp.tl.mine"));
+    EXPECT_TRUE(failpoint::anyActive());
+    // The overlay is invisible to the global registry and to other
+    // threads.
+    EXPECT_TRUE(failpoint::activeSites().empty());
+    bool firedElsewhere = true;
+    bool activeElsewhere = true;
+    std::thread([&] {
+        firedElsewhere = LL_FAILPOINT("fp.tl.mine");
+        activeElsewhere = failpoint::anyActive();
+    }).join();
+    EXPECT_FALSE(firedElsewhere);
+    EXPECT_FALSE(activeElsewhere);
+}
+
+TEST_F(FailpointTest, ScopedThreadLocalRestoresAndNesting)
+{
+    EXPECT_FALSE(failpoint::anyActive());
+    {
+        failpoint::ScopedThreadLocal outer({"fp.tl.outer"});
+        {
+            failpoint::ScopedThreadLocal inner({"fp.tl.inner"});
+            EXPECT_TRUE(LL_FAILPOINT("fp.tl.outer"));
+            EXPECT_TRUE(LL_FAILPOINT("fp.tl.inner"));
+            EXPECT_EQ(failpoint::threadLocalActiveSites().size(), 2u);
+        }
+        EXPECT_TRUE(LL_FAILPOINT("fp.tl.outer"));
+        EXPECT_FALSE(LL_FAILPOINT("fp.tl.inner"));
+    }
+    EXPECT_FALSE(LL_FAILPOINT("fp.tl.outer"));
+    EXPECT_FALSE(failpoint::anyActive());
+}
+
+// A thread-local overlay naming a site must not consume the *global*
+// activation's shot budget on the owning thread: the global ledger
+// drains by exactly its limit, and the overlay keeps firing after.
+TEST_F(FailpointTest, ScopedThreadLocalLeavesGlobalBudgetUntouched)
+{
+    failpoint::activate("fp.tl.shared", 2);
+    failpoint::ScopedThreadLocal guard({"fp.tl.shared"});
+    // Every evaluation fires: first two drain the global budget, the
+    // rest come from the overlay.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(LL_FAILPOINT("fp.tl.shared"));
+    // Drained global activation no longer lists, overlay still fires.
+    for (const auto &s : failpoint::activeSites())
+        EXPECT_NE(s, "fp.tl.shared");
+    EXPECT_TRUE(LL_FAILPOINT("fp.tl.shared"));
+}
+
 // Four threads hammer the registry concurrently — evaluations on a
 // shared site, activations/deactivations, counter reads, listing, and
 // periodic clearAll — exercising every public entry point against every

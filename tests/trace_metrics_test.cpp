@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <new>
 #include <set>
@@ -304,6 +306,56 @@ TEST(Trace, ChromeExportIsValidBalancedJson)
             }
         }
     }
+}
+
+TEST(Trace, FlushAndClearWritesConfiguredPathThenEmptiesBuffer)
+{
+    ScopedTracing on;
+    const std::string saved = trace::outputPath();
+    const std::string path =
+        ::testing::TempDir() + "ll_trace_reset_test.json";
+    trace::setOutputPath(path);
+
+    { trace::Span s("segment-one", "test"); }
+    ASSERT_EQ(trace::eventCount(), 1);
+    EXPECT_TRUE(trace::flushAndClear());
+    EXPECT_EQ(trace::eventCount(), 0);
+    EXPECT_EQ(trace::droppedCount(), 0);
+
+    // The flushed file holds the pre-reset segment.
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto parsed = jsonlite::parse(text.str());
+    ASSERT_TRUE(parsed.has_value());
+    const auto *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->items.size(), 1u);
+    EXPECT_EQ(events->items[0].find("name")->str, "segment-one");
+
+    // An empty buffer has nothing to flush; the clear is still a
+    // no-op-safe reset.
+    EXPECT_FALSE(trace::flushAndClear());
+    trace::setOutputPath(saved);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, FlushAndClearResetsDroppedCountWithTheBuffer)
+{
+    ScopedTracing on;
+    const std::string saved = trace::outputPath();
+    trace::setOutputPath(""); // clear only, no file I/O
+    // Overrun the soft cap so the recorder starts dropping.
+    while (trace::droppedCount() == 0) {
+        trace::Span s("filler", "test");
+        (void)s;
+    }
+    EXPECT_GT(trace::droppedCount(), 0);
+    EXPECT_FALSE(trace::flushAndClear()); // no path configured
+    EXPECT_EQ(trace::eventCount(), 0);
+    EXPECT_EQ(trace::droppedCount(), 0);
+    trace::setOutputPath(saved);
 }
 
 TEST(Trace, DisabledSpanRecordsNothingAndNeverAllocates)

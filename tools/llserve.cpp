@@ -1,0 +1,337 @@
+/**
+ * @file
+ * llserve — drive the concurrent compilation service with a replayed
+ * request stream and report its throughput and cache behavior.
+ *
+ * Workload (combinable):
+ *
+ *   --corpus DIR   every corpus case file in DIR becomes a
+ *                  single-conversion request (the fuzzer's text
+ *                  format, served through serveConversion);
+ *   --kernels      every Figure 9 kernel (first size knob) becomes a
+ *                  whole-kernel compilation request through
+ *                  LayoutEngine.
+ *
+ * Stream shaping:
+ *
+ *   --repeat K     replay the workload K times (a serving deployment
+ *                  sees the same conversions over and over; repeat
+ *                  passes are where the plan cache earns its keep);
+ *   --shuffle      interleave the repeated stream with a deterministic
+ *                  permutation (--seed S, default 42) so threads hit
+ *                  overlapping keys at the same time instead of in
+ *                  convoy order;
+ *   --threads N    worker threads (default 4);
+ *   --no-cache     plan every request fresh (the baseline for the
+ *                  cache's speedup claims);
+ *   --cache-capacity N  total plan-cache entries (default 4096).
+ *
+ * Reporting: a human summary (throughput, hit rate, p50/p90 request
+ * latency) plus a schema-valid BENCH_service.json written next to the
+ * process or into $LL_BENCH_JSON_DIR — llstat --validate-bench-json is
+ * the schema authority. --expect-hit-rate PCT exits nonzero when the
+ * plan-cache hit rate comes in below PCT (used by the llserve_smoke
+ * ctest entry), as does any failed request.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "check/case_io.h"
+#include "kernels.h"
+#include "service/compile_service.h"
+#include "service/plan_cache.h"
+#include "support/metrics.h"
+
+using namespace ll;
+
+namespace {
+
+struct Options
+{
+    std::string corpusDir;
+    bool kernels = false;
+    int threads = 4;
+    int repeat = 1;
+    bool shuffle = false;
+    uint64_t seed = 42;
+    bool noCache = false;
+    size_t cacheCapacity = 4096;
+    /** Exit nonzero when the hit rate lands below this (percent);
+     *  negative disables the check. */
+    double expectHitRate = -1.0;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: llserve [--corpus DIR] [--kernels] [--threads N]\n"
+           "               [--repeat K] [--shuffle] [--seed S]\n"
+           "               [--no-cache] [--cache-capacity N]\n"
+           "               [--expect-hit-rate PCT]\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "llserve: " << name << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--corpus") {
+            const char *v = needValue("--corpus");
+            if (!v)
+                return false;
+            opt.corpusDir = v;
+        } else if (arg == "--kernels") {
+            opt.kernels = true;
+        } else if (arg == "--threads") {
+            const char *v = needValue("--threads");
+            if (!v)
+                return false;
+            opt.threads = std::max(1, std::atoi(v));
+        } else if (arg == "--repeat") {
+            const char *v = needValue("--repeat");
+            if (!v)
+                return false;
+            opt.repeat = std::max(1, std::atoi(v));
+        } else if (arg == "--shuffle") {
+            opt.shuffle = true;
+        } else if (arg == "--seed") {
+            const char *v = needValue("--seed");
+            if (!v)
+                return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-cache") {
+            opt.noCache = true;
+        } else if (arg == "--cache-capacity") {
+            const char *v = needValue("--cache-capacity");
+            if (!v)
+                return false;
+            opt.cacheCapacity = static_cast<size_t>(
+                std::max(1LL, std::atoll(v)));
+        } else if (arg == "--expect-hit-rate") {
+            const char *v = needValue("--expect-hit-rate");
+            if (!v)
+                return false;
+            opt.expectHitRate = std::atof(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "llserve: unknown option " << arg << "\n";
+            usage();
+            return false;
+        }
+    }
+    if (opt.corpusDir.empty() && !opt.kernels) {
+        std::cerr << "llserve: nothing to serve (want --corpus and/or "
+                     "--kernels)\n";
+        usage();
+        return false;
+    }
+    return true;
+}
+
+bool
+buildCorpusRequests(const std::string &dir,
+                    std::vector<service::CompileRequest> &out)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file())
+            files.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::cerr << "llserve: cannot read corpus dir " << dir << ": "
+                  << ec.message() << "\n";
+        return false;
+    }
+    if (files.empty()) {
+        std::cerr << "llserve: corpus dir " << dir
+                  << " holds no case files\n";
+        return false;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        check::ConversionCase c;
+        try {
+            c = check::readCaseFile(path);
+        } catch (const std::exception &e) {
+            std::cerr << "llserve: " << path << ": " << e.what()
+                      << "\n";
+            return false;
+        }
+        auto conv = std::make_shared<service::ConversionRequest>();
+        conv->src = std::move(c.src);
+        conv->dst = std::move(c.dst);
+        conv->elemBytes = c.elemBytes;
+        conv->spec = c.spec();
+        service::CompileRequest req;
+        req.name = c.summary.empty() ? path : c.summary;
+        req.conversion = std::move(conv);
+        out.push_back(std::move(req));
+    }
+    return true;
+}
+
+void
+buildKernelRequests(std::vector<service::CompileRequest> &out)
+{
+    for (const auto &spec : kernels::allKernels()) {
+        service::CompileRequest req;
+        req.name = "kernel:" + spec.name;
+        req.build = [build = spec.build,
+                     size = spec.sizes.front()]() {
+            return build(size);
+        };
+        out.push_back(std::move(req));
+    }
+}
+
+/** BENCH_service.json, same schema as bench::emitBenchJson (llstat
+ *  --validate-bench-json is the authority); extra wall_ms/metrics
+ *  fields are additive and tolerated by the validator. */
+bool
+writeBenchJson(const Options &opt, const service::ServiceReport &report,
+               double hitRatePct)
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("LL_BENCH_JSON_DIR"))
+        dir = env;
+    const std::string path = dir + "/BENCH_service.json";
+    std::ofstream os(path);
+    if (!os.good()) {
+        std::cerr << "llserve: cannot write " << path << "\n";
+        return false;
+    }
+    char buf[512];
+    os << "{\n"
+       << "  \"name\": \"service\",\n"
+       << "  \"reps\": " << opt.repeat << ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"wall_ms\": {\"median\": %.6g, \"p90\": %.6g, "
+                  "\"total\": %.6g},\n",
+                  report.p50LatencyUs / 1e3, report.p90LatencyUs / 1e3,
+                  report.wallMs);
+    os << buf << "  \"metrics\": {";
+    bool first = true;
+    auto emit = [&](const std::string &key, double value) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6g",
+                      first ? "" : ", ", key.c_str(), value);
+        os << buf;
+        first = false;
+    };
+    emit("service.stream.requests",
+         static_cast<double>(report.requests));
+    emit("service.stream.failures",
+         static_cast<double>(report.failures));
+    emit("service.stream.threads", report.threads);
+    emit("service.stream.requests_per_sec", report.requestsPerSec);
+    emit("service.stream.hit_rate_pct", hitRatePct);
+    for (const auto &[name, delta] : report.totals.metrics)
+        emit(name, static_cast<double>(delta));
+    os << "}\n}\n";
+    std::cout << "llserve: wrote " << path << "\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    std::vector<service::CompileRequest> base;
+    if (!opt.corpusDir.empty() &&
+        !buildCorpusRequests(opt.corpusDir, base))
+        return 2;
+    if (opt.kernels)
+        buildKernelRequests(base);
+
+    std::vector<service::CompileRequest> stream;
+    stream.reserve(base.size() * static_cast<size_t>(opt.repeat));
+    for (int k = 0; k < opt.repeat; ++k)
+        stream.insert(stream.end(), base.begin(), base.end());
+    if (opt.shuffle) {
+        std::mt19937_64 rng(opt.seed);
+        std::shuffle(stream.begin(), stream.end(), rng);
+    }
+
+    std::unique_ptr<service::PlanCache> cache;
+    if (!opt.noCache) {
+        service::PlanCache::Config config;
+        config.capacity = opt.cacheCapacity;
+        cache = std::make_unique<service::PlanCache>(config);
+    }
+
+    service::CompileService::Options serviceOptions;
+    serviceOptions.threads = opt.threads;
+    serviceOptions.cache = cache.get();
+    service::CompileService svc{serviceOptions};
+    auto report = svc.run(stream);
+
+    const auto &t = report.totals;
+    const int64_t lookups = static_cast<int64_t>(t.planCacheHits) +
+                            t.planCacheNegativeHits + t.planCacheMisses;
+    const double hitRatePct =
+        lookups > 0 ? 100.0 *
+                          static_cast<double>(t.planCacheHits +
+                                              t.planCacheNegativeHits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+
+    std::cout << "llserve: " << report.requests << " request(s) on "
+              << report.threads << " thread(s) in " << report.wallMs
+              << " ms (" << report.requestsPerSec << " req/s), "
+              << report.failures << " failure(s)\n";
+    std::cout << "llserve: latency p50 " << report.p50LatencyUs
+              << " us, p90 " << report.p90LatencyUs << " us\n";
+    if (cache) {
+        auto cs = cache->stats();
+        std::cout << "llserve: plan cache: " << t.planCacheHits
+                  << " hit(s), " << t.planCacheNegativeHits
+                  << " negative hit(s), " << t.planCacheMisses
+                  << " miss(es) — hit rate " << hitRatePct
+                  << "%; size " << cache->size() << "/"
+                  << cache->capacity() << ", " << cs.evictions
+                  << " eviction(s), " << cs.insertRefusals
+                  << " insert refusal(s)\n";
+    } else {
+        std::cout << "llserve: plan cache disabled (--no-cache)\n";
+    }
+
+    if (!writeBenchJson(opt, report, hitRatePct))
+        return 1;
+
+    int rc = 0;
+    if (report.failures > 0) {
+        std::cerr << "llserve: " << report.failures
+                  << " request(s) failed\n";
+        rc = 1;
+    }
+    if (opt.expectHitRate >= 0.0 && hitRatePct < opt.expectHitRate) {
+        std::cerr << "llserve: hit rate " << hitRatePct
+                  << "% below expected " << opt.expectHitRate << "%\n";
+        rc = 1;
+    }
+    return rc;
+}

@@ -1,0 +1,35 @@
+# Smoke-run the compilation service over the seed corpus: 4 threads,
+# 4 repeat passes, shuffled, asserting the plan-cache hit rate the
+# repeat passes must produce, then validate the BENCH_service.json it
+# emits against the schema llstat enforces.
+#
+# Script arguments (via -D):
+#   LLSERVE     path to the llserve binary
+#   LLSTAT      path to the llstat binary
+#   CORPUS_DIR  seed corpus directory
+#   OUT_DIR     scratch dir for the emitted report
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# 4 repeat passes over N cases: at most N misses, so the hit rate is
+# at least 75% even if every case is distinct. Expect 70 to keep a
+# margin for eviction noise while still proving the cache works.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "LL_BENCH_JSON_DIR=${OUT_DIR}"
+            "${LLSERVE}" --corpus "${CORPUS_DIR}"
+            --threads 4 --repeat 4 --shuffle
+            --expect-hit-rate 70
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llserve exited with ${rc}")
+endif()
+if(NOT EXISTS "${OUT_DIR}/BENCH_service.json")
+    message(FATAL_ERROR "llserve did not emit BENCH_service.json")
+endif()
+
+execute_process(COMMAND "${LLSTAT}" --validate-bench-json "${OUT_DIR}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BENCH_service.json schema validation failed")
+endif()

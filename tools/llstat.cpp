@@ -19,6 +19,11 @@
  *   --trace PATH        write the Chrome trace-event JSON to PATH
  *                       (tracing is force-enabled; open the file in
  *                       Perfetto / chrome://tracing);
+ *   --trace-reset       after reporting, flush the process-global
+ *                       trace buffer (to --trace PATH when given) and
+ *                       clear it; the dropped-event count resets with
+ *                       it, so a long-lived process can carve its
+ *                       timeline into bounded segments;
  *   --metrics text|json metrics exposition format on stdout (default
  *                       text, Prometheus-style; "none" to suppress);
  *   --check-spans       fail (exit 1) unless every planned conversion
@@ -66,6 +71,7 @@ struct Options
     std::string caseFile;
     bool kernels = false;
     std::string tracePath;
+    bool traceReset = false;
     std::string metricsFormat = "text";
     bool checkSpans = false;
     std::string validateBenchDir;
@@ -76,7 +82,8 @@ usage()
 {
     std::cerr
         << "usage: llstat [--corpus DIR] [--case FILE] [--kernels]\n"
-           "              [--trace PATH] [--metrics text|json|none]\n"
+           "              [--trace PATH] [--trace-reset]\n"
+           "              [--metrics text|json|none]\n"
            "              [--check-spans] [--validate-bench-json DIR]\n";
 }
 
@@ -121,6 +128,8 @@ parseArgs(int argc, char **argv, Options &opt)
                              "none\n";
                 return false;
             }
+        } else if (arg == "--trace-reset") {
+            opt.traceReset = true;
         } else if (arg == "--check-spans") {
             opt.checkSpans = true;
         } else if (arg == "--validate-bench-json") {
@@ -430,7 +439,7 @@ main(int argc, char **argv)
 
     // Span checking and explicit trace output both need the tracer on,
     // LL_TRACE or not.
-    if (opt.checkSpans || !opt.tracePath.empty())
+    if (opt.checkSpans || !opt.tracePath.empty() || opt.traceReset)
         trace::setEnabled(true);
     if (!opt.tracePath.empty())
         trace::setOutputPath(opt.tracePath);
@@ -465,7 +474,19 @@ main(int argc, char **argv)
                   << (tally.spanViolations ? "FAILED" : "ok") << " ("
                   << tally.spanViolations << " violation(s))\n";
 
-    if (!opt.tracePath.empty()) {
+    if (opt.traceReset) {
+        const size_t events = trace::eventCount();
+        const size_t dropped = trace::droppedCount();
+        const bool wrote = trace::flushAndClear();
+        std::cout << "llstat: trace buffer reset (" << events
+                  << " event(s) and " << dropped
+                  << " dropped discarded";
+        if (wrote)
+            std::cout << ", flushed to " << opt.tracePath << " first";
+        std::cout << "; buffer now holds " << trace::eventCount()
+                  << " event(s), " << trace::droppedCount()
+                  << " dropped)\n";
+    } else if (!opt.tracePath.empty()) {
         if (trace::flushToConfiguredPath())
             std::cout << "llstat: trace written to " << opt.tracePath
                       << " (" << trace::eventCount() << " events, "
