@@ -16,6 +16,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "bench_util.h"
 #include "engine/cost_model.h"
@@ -44,6 +46,32 @@ kernelRunsOn(const kernels::KernelSpec &k, const sim::GpuSpec &spec)
     return true;
 }
 
+/**
+ * LL_FIG9_KERNELS: comma-separated kernel-name subset for the table
+ * and plan-cache passes. Empty/unset runs the full suite. The
+ * fig9_speedup_smoke guard uses this to compare the word-parallel and
+ * scalar-reference paths on a representative subset instead of the
+ * whole (expensive, on the reference path) suite.
+ */
+bool
+kernelSelected(const kernels::KernelSpec &k)
+{
+    const char *env = std::getenv("LL_FIG9_KERNELS");
+    if (env == nullptr || *env == '\0')
+        return true;
+    const std::string list(env);
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (list.compare(pos, comma - pos, k.name) == 0)
+            return true;
+        pos = comma + 1;
+    }
+    return false;
+}
+
 void
 printTable()
 {
@@ -62,6 +90,8 @@ printTable()
     std::vector<double> platformGeo(3, 0.0);
     std::vector<int> platformCases(3, 0);
     for (const auto &k : suite) {
+        if (!kernelSelected(k))
+            continue;
         std::printf("%-20s", k.name.c_str());
         for (size_t p = 0; p < 3; ++p) {
             const auto &spec = specs[p];
@@ -121,6 +151,8 @@ printPlanCacheAmortization()
     for (int pass = 0; pass < 2; ++pass) {
         engine::EngineStats &total = pass == 0 ? pass1 : pass2;
         for (const auto &k : kernels::allKernels()) {
+            if (!kernelSelected(k))
+                continue;
             for (int32_t size : k.sizes) {
                 ir::Function f = k.build(size);
                 engine::LayoutEngine eng{options};

@@ -1,0 +1,51 @@
+# Speed guard for the word-parallel F2 core: run the fig9 planning
+# sweep twice — once on the scalar reference paths (LL_F2_REFERENCE=1)
+# and once on the word-parallel paths — and fail unless the fast run
+# finishes in at most half the reference wall time. The ratio, not the
+# absolute time, is the contract, so debug builds and loaded CI hosts
+# do not flake it. LL_FIG9_KERNELS keeps the reference run affordable:
+# the two shared-rung-heavy kernels dominate the planning cost and are
+# exactly where the word-parallel rewrite pays off.
+#
+# Script arguments (via -D):
+#   FIG9     path to the fig9_real_kernels binary
+#   OUT_DIR  scratch dir for the emitted reports
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+function(run_fig9 refmode out_var)
+    string(TIMESTAMP t0 "%s")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+                LL_BENCH_REPS=1 "LL_BENCH_JSON_DIR=${OUT_DIR}"
+                LL_FIG9_KERNELS=gemm,template_attention
+                "LL_F2_REFERENCE=${refmode}"
+                "${FIG9}" --benchmark_filter=__nobench__
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "fig9 (LL_F2_REFERENCE=${refmode}) exited with ${rc}")
+    endif()
+    string(TIMESTAMP t1 "%s")
+    math(EXPR dt "${t1} - ${t0}")
+    set(${out_var} ${dt} PARENT_SCOPE)
+endfunction()
+
+run_fig9(1 ref_seconds)
+run_fig9(0 fast_seconds)
+
+# Clamp to 1s: TIMESTAMP has whole-second resolution and the fast run
+# can round to zero.
+if(fast_seconds LESS 1)
+    set(fast_seconds 1)
+endif()
+math(EXPR required "2 * ${fast_seconds}")
+message(STATUS "fig9 subset wall time: reference ${ref_seconds}s, "
+               "word-parallel ${fast_seconds}s")
+if(ref_seconds LESS required)
+    message(FATAL_ERROR
+        "word-parallel fig9 run (${fast_seconds}s) is not at least 2x "
+        "faster than the scalar reference run (${ref_seconds}s)")
+endif()

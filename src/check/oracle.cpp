@@ -340,14 +340,12 @@ checkCaseWithDemotion(const ConversionCase &c)
             break;
         out.notes.push_back("convert:" + codegen::toString(plan.kind) +
                             " execution failed: " + fail->toString());
-        auto knockout = codegen::demotionSitesFor(plan.kind);
-        if (knockout.empty()) {
+        if (plan.kind == codegen::ConversionKind::SharedScalar) {
             out.survived = false;
             return out;
         }
-        failpoint::ScopedSet demotionGuard(std::move(knockout));
-        auto replanned = codegen::tryPlanConversion(c.src, c.dst,
-                                                    c.elemBytes, spec);
+        auto replanned = codegen::tryReplanBelow(
+            plan.kind, c.src, c.dst, c.elemBytes, spec);
         if (!replanned.ok()) {
             out.notes.push_back("demoted re-plan failed: " +
                                 replanned.diag().toString());

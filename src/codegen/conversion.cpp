@@ -412,9 +412,23 @@ smokeExecutePlan(const ConversionPlan &plan, const LinearLayout &srcIn,
     return std::nullopt;
 }
 
+namespace {
+// Ladder positions, used to resume planning strictly below a failed
+// rung. Matches the rung order in tryPlanConversionImpl.
+enum Rung : int {
+    kRungNoOp = 1,
+    kRungRegisterPermute = 2,
+    kRungWarpShuffle = 3,
+    kRungSharedMemory = 4,
+    kRungSharedPadded = 5,
+    kRungSharedScalar = 6,
+};
+} // namespace
+
 static Result<ConversionPlan>
 tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
-                      int elemBytes, const sim::GpuSpec &spec)
+                      int elemBytes, const sim::GpuSpec &spec,
+                      int startRung = kRungNoOp)
 {
     if (auto bad = validateInputs(src, dst, elemBytes))
         return *bad;
@@ -442,8 +456,10 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     };
 
     // Rung 1: no movement at all.
-    {
+    if (startRung <= kRungNoOp) {
         trace::Span rung("plan.rung.noop", "plan");
+        static auto &evals = metrics::counter("plan.rung.noop.evaluated");
+        evals.inc();
         if (!skipped("plan.noop") && conversionIsNoOp(src, dst)) {
             rung.arg("outcome", "accept");
             rung.arg("cycles", 0.0);
@@ -454,8 +470,11 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     }
 
     // Rung 2: data stays within each thread.
-    {
+    if (startRung <= kRungRegisterPermute) {
         trace::Span rung("plan.rung.register-permute", "plan");
+        static auto &evals =
+            metrics::counter("plan.rung.register-permute.evaluated");
+        evals.inc();
         if (!skipped("plan.register-permute") &&
             conversionIsRegisterPermute(src, dst)) {
             plan.kind = ConversionKind::RegisterPermute;
@@ -469,8 +488,11 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     }
 
     // Rung 3: data stays within each warp.
-    {
+    if (startRung <= kRungWarpShuffle) {
         trace::Span rung("plan.rung.warp-shuffle", "plan");
+        static auto &evals =
+            metrics::counter("plan.rung.warp-shuffle.evaluated");
+        evals.inc();
         if (!skipped("plan.warp-shuffle")) {
             auto shuffle = planWarpShuffle(src, dst, elemBytes, spec);
             if (shuffle) {
@@ -497,6 +519,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
 
     // Rungs 4-6 go through shared memory. The matrix instructions are
     // independently droppable riders on rung 4.
+    if (startRung <= kRungSharedMemory) {
     bool allowLdmatrix = true;
     if (LL_FAILPOINT("plan.ldmatrix")) {
         allowLdmatrix = false;
@@ -515,6 +538,9 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     // whose vec-granular phases keep 16-byte rows intact and so stay
     // divisible by the ldmatrix/stmatrix tiles. Pick by modeled cost.
     trace::Span rung4("plan.rung.shared-memory", "plan");
+    static auto &rung4Evals =
+        metrics::counter("plan.rung.shared-memory.evaluated");
+    rung4Evals.inc();
     std::vector<SwizzledShared> candidates;
     if (!skipped("plan.optimal-swizzle")) {
         auto opt = tryComputeOptimalSwizzle(src, dst, elemBytes, spec);
@@ -603,10 +629,14 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     rung4.finish();
     if (haveBest)
         return best;
+    } // startRung <= kRungSharedMemory
 
     // Rung 5: unswizzled shared memory with bank-offset padding.
-    {
+    if (startRung <= kRungSharedPadded) {
         trace::Span rung("plan.rung.shared-padded", "plan");
+        static auto &evals =
+            metrics::counter("plan.rung.shared-padded.evaluated");
+        evals.inc();
         auto padded = planPaddedShared(src, dst, elemBytes, spec);
         if (padded) {
             try {
@@ -642,6 +672,9 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     // correct for any surjective pair.
     {
         trace::Span rung("plan.rung.shared-scalar", "plan");
+        static auto &evals =
+            metrics::counter("plan.rung.shared-scalar.evaluated");
+        evals.inc();
         auto scalar = planScalarShared(src, dst, elemBytes, spec);
         if (scalar) {
             try {
@@ -716,6 +749,47 @@ planConversion(const LinearLayout &src, const LinearLayout &dst,
     llUserCheck(plan.ok(), "planConversion failed: " +
                                plan.diag().toString());
     return std::move(*plan);
+}
+
+Result<ConversionPlan>
+tryReplanBelow(ConversionKind failed, const LinearLayout &src,
+               const LinearLayout &dst, int elemBytes,
+               const sim::GpuSpec &spec)
+{
+    int startRung;
+    switch (failed) {
+      case ConversionKind::NoOp:
+        startRung = kRungRegisterPermute;
+        break;
+      case ConversionKind::RegisterPermute:
+        startRung = kRungWarpShuffle;
+        break;
+      case ConversionKind::WarpShuffle:
+        startRung = kRungSharedMemory;
+        break;
+      case ConversionKind::SharedMemory:
+        startRung = kRungSharedPadded;
+        break;
+      case ConversionKind::SharedPadded:
+        startRung = kRungSharedScalar;
+        break;
+      case ConversionKind::SharedScalar:
+      default:
+        return makeDiag(DiagCode::PlannerInternalError, "plan.replan",
+                        "the terminal scalar rung failed in execution; "
+                        "nothing below it to demote to");
+    }
+    trace::Span span("plan.replan", "plan");
+    static auto &replans = metrics::counter("plan.replans");
+    replans.inc();
+    auto result =
+        tryPlanConversionImpl(src, dst, elemBytes, spec, startRung);
+    if (span.active()) {
+        span.arg("below", toString(failed));
+        span.arg("outcome",
+                 result.ok() ? toString(result->kind) : "unplanned");
+    }
+    return result;
 }
 
 double

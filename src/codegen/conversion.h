@@ -121,6 +121,24 @@ ConversionPlan planConversion(const LinearLayout &src,
                               const sim::GpuSpec &spec);
 
 /**
+ * Re-plan after an execution failure of a plan of kind `failed`: resume
+ * the fallback ladder at the rung strictly below it, without evaluating
+ * (or even opening spans for) the rungs at or above. This is what the
+ * engine's execution-triggered demotion uses; it is equivalent to
+ * re-running tryPlanConversion under the demotionSitesFor(failed)
+ * knockout set, minus the wasted rung evaluations and the
+ * FailpointInjected notes that knockout would leave in the plan's
+ * diagnostics. Returns a Diagnostic when `failed` is the terminal
+ * SharedScalar rung (nowhere left to demote to) or when every remaining
+ * rung also fails.
+ */
+Result<ConversionPlan> tryReplanBelow(ConversionKind failed,
+                                      const LinearLayout &src,
+                                      const LinearLayout &dst,
+                                      int elemBytes,
+                                      const sim::GpuSpec &spec);
+
+/**
  * Every failpoint site the planner consults, in ladder order, minus the
  * terminal "plan.scalar" (activating that together with the rest leaves
  * no rung standing, which is an engine-survival scenario rather than a

@@ -105,6 +105,13 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
     const int numWarpsDst = dstAligned.hasInDim(kWarp)
                                 ? dstAligned.getInDimSize(kWarp)
                                 : 1;
+    // Composed address tables: one applyFlat per input bit up front,
+    // then each warp access is a run of XORs — the offsets are
+    // bit-identical to warpAccessOffsets (see WarpAccessTable).
+    const WarpAccessTable storeTable(
+        swz, src.transposeOuts(swz.memLayout.getOutDimNames()));
+    const WarpAccessTable loadTable(
+        swz, dstAligned.transposeOuts(swz.memLayout.getOutDimNames()));
     result.correct = true;
     for (int64_t pass = 0; pass < passes; ++pass) {
         sim::SharedMemory smem(spec, elemBytes, alloc);
@@ -112,8 +119,9 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
         // --- store phase: every warp writes its fragment ---------------
         for (int warp = 0; warp < numWarps; ++warp) {
             for (int32_t rep : storeReps) {
-                auto offsets =
-                    warpAccessOffsets(swz, src, rep, warp, warpSize);
+                std::vector<int64_t> offsets;
+                offsets.reserve(static_cast<size_t>(warpSize));
+                storeTable.offsetsInto(rep, warp, offsets);
                 std::vector<std::vector<uint64_t>> values(offsets.size());
                 for (size_t lane = 0; lane < offsets.size(); ++lane) {
                     if (faults.window || offsets[lane] < 0 ||
@@ -144,8 +152,9 @@ executeSharedConversion(const SwizzledShared &swz, const LinearLayout &src,
         // --- load phase + verification ---------------------------------
         for (int warp = 0; warp < numWarpsDst; ++warp) {
             for (int32_t rep : loadReps) {
-                auto offsets = warpAccessOffsets(swz, dstAligned, rep,
-                                                 warp, warpSize);
+                std::vector<int64_t> offsets;
+                offsets.reserve(static_cast<size_t>(warpSize));
+                loadTable.offsetsInto(rep, warp, offsets);
                 auto global = offsets;
                 const int64_t active = maskToWindow(offsets, pass, alloc);
                 lanesMasked +=
@@ -249,8 +258,24 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
     // Window keys are *storage* bases (padOffset applied) to match
     // warpAccessOffsets; the slot within a window is pad-invariant
     // because padding is a multiple of the vectorization.
-    auto offsetOf = [&](const LinearLayout &dist, uint64_t in) {
-        return swz.tensorToOffset.applyFlat(dist.applyFlat(in));
+    //
+    // The composed map tensorToOffset . dist is linear, so the whole
+    // offset table falls out of one prefix-XOR sweep: clearing the
+    // lowest set bit of `in` leaves an index already computed, and the
+    // difference is one composed column.
+    auto flatOffsets = [&](const LinearLayout &dist) {
+        const int bits = dist.getTotalInDimSizeLog2();
+        std::vector<uint64_t> cols(static_cast<size_t>(bits));
+        for (int i = 0; i < bits; ++i) {
+            cols[static_cast<size_t>(i)] = swz.tensorToOffset.applyFlat(
+                dist.applyFlat(uint64_t(1) << i));
+        }
+        std::vector<uint64_t> offs(size_t(1) << bits);
+        offs[0] = 0;
+        for (size_t in = 1; in < offs.size(); ++in)
+            offs[in] = offs[in & (in - 1)] ^
+                       cols[static_cast<size_t>(std::countr_zero(in))];
+        return offs;
     };
 
     const int srcRegLog = src.getInDimSizeLog2(kReg);
@@ -275,6 +300,8 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
     // every pass reuses them.
     using LaneMap =
         std::map<int64_t, std::vector<std::pair<int, uint64_t>>>;
+    const auto srcOffs = flatOffsets(src);
+    const auto dstOffs = flatOffsets(dstAligned);
     std::vector<std::vector<LaneMap>> held(
         static_cast<size_t>(srcWarps),
         std::vector<LaneMap>(static_cast<size_t>(srcLanes)));
@@ -286,7 +313,7 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                     (static_cast<uint64_t>(lane) << srcRegLog) |
                     (static_cast<uint64_t>(warp)
                      << (srcRegLog + srcLaneLog));
-                uint64_t off = offsetOf(src, in);
+                uint64_t off = srcOffs[in];
                 held[static_cast<size_t>(warp)][static_cast<size_t>(lane)]
                     [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
                         .emplace_back(static_cast<int>(off & vecMask),
@@ -305,7 +332,7 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
                     (static_cast<uint64_t>(lane) << dstRegLog) |
                     (static_cast<uint64_t>(warp)
                      << (dstRegLog + dstLaneLog));
-                uint64_t off = offsetOf(dstAligned, in);
+                uint64_t off = dstOffs[in];
                 wanted[static_cast<size_t>(warp)]
                       [static_cast<size_t>(lane)]
                       [swz.padOffset(static_cast<int64_t>(off & ~vecMask))]
@@ -315,14 +342,17 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
         }
     }
 
+    const WarpAccessTable storeTable(swz, src);
+    const WarpAccessTable loadTable(swz, dstAligned);
     for (int64_t pass = 0; pass < passes; ++pass) {
         sim::SharedMemory smem(spec, elemBytes, alloc);
 
         // --- store phase -----------------------------------------------
         for (int warp = 0; warp < srcWarps; ++warp) {
             for (int32_t rep : storeReps) {
-                auto offsets =
-                    warpAccessOffsets(swz, src, rep, warp, srcLanes);
+                std::vector<int64_t> offsets;
+                offsets.reserve(static_cast<size_t>(srcLanes));
+                storeTable.offsetsInto(rep, warp, offsets);
                 std::vector<std::vector<uint64_t>> values(
                     offsets.size(),
                     std::vector<uint64_t>(static_cast<size_t>(vec),
@@ -358,8 +388,9 @@ runSharedRoundTrip(const SwizzledShared &swz, const LinearLayout &srcIn,
         // --- load phase ------------------------------------------------
         for (int warp = 0; warp < dstWarps; ++warp) {
             for (int32_t rep : loadReps) {
-                auto offsets = warpAccessOffsets(swz, dstAligned, rep,
-                                                 warp, dstLanes);
+                std::vector<int64_t> offsets;
+                offsets.reserve(static_cast<size_t>(dstLanes));
+                loadTable.offsetsInto(rep, warp, offsets);
                 auto global = offsets;
                 const int64_t active = maskToWindow(offsets, pass, alloc);
                 lanesMasked +=

@@ -3,6 +3,7 @@
 #include "sim/memory_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "f2/subspace.h"
@@ -10,6 +11,8 @@
 #include "support/bits.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
+#include "support/parallel.h"
+#include "support/refmode.h"
 #include "support/trace.h"
 
 namespace ll {
@@ -440,6 +443,12 @@ planPaddedShared(const LinearLayout &a, const LinearLayout &b,
         // keep the wavefront-cheapest pair that fits the CTA budget.
         // The unswizzled flat layout is the baseline: a pad that does
         // not measurably lower the enumerated totals is not adopted.
+        //
+        // Every candidate is priced independently (two enumerate sweeps
+        // each), so the family fans out across the shared work pool;
+        // the reduce walks the serial iteration order with the same
+        // strict comparison, so the adopted pair — including first-of-
+        // equal-cost tie-breaks — is identical to the serial loop's.
         const int vec = swz.vecElems();
         const int totalBankBytes = spec.numBanks * spec.bankWidthBytes;
         const int64_t rowElems = totalBankBytes / elemBytes;
@@ -450,9 +459,7 @@ planPaddedShared(const LinearLayout &a, const LinearLayout &b,
             const int64_t intervals[] = {rowElems / 2, rowElems,
                                          2 * rowElems};
             const int64_t pads[] = {basePad, 2 * basePad};
-            int64_t bestWf =
-                enumerateWavefronts(swz, a, elemBytes, spec) +
-                enumerateWavefronts(swz, b, elemBytes, spec);
+            std::vector<SwizzledShared> candidates;
             for (int64_t interval : intervals) {
                 if (interval < vec || interval % vec != 0 ||
                     numElems <= interval)
@@ -465,15 +472,30 @@ planPaddedShared(const LinearLayout &a, const LinearLayout &b,
                             spec, elemBytes,
                             padded.storageElems(numElems)))
                         continue;
-                    int64_t padWf =
-                        enumerateWavefronts(padded, a, elemBytes, spec) +
-                        enumerateWavefronts(padded, b, elemBytes, spec);
-                    if (padWf < bestWf) {
-                        bestWf = padWf;
-                        swz = padded;
-                    }
+                    candidates.push_back(std::move(padded));
                 }
             }
+            // Slot 0 prices the unpadded baseline.
+            std::vector<int64_t> costs(candidates.size() + 1, 0);
+            support::parallelFor(
+                static_cast<int>(candidates.size()) + 1, [&](int i) {
+                    const SwizzledShared &cand =
+                        i == 0 ? swz
+                               : candidates[static_cast<size_t>(i - 1)];
+                    costs[static_cast<size_t>(i)] =
+                        enumerateWavefronts(cand, a, elemBytes, spec) +
+                        enumerateWavefronts(cand, b, elemBytes, spec);
+                });
+            int64_t bestWf = costs[0];
+            int best = -1;
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                if (costs[i + 1] < bestWf) {
+                    bestWf = costs[i + 1];
+                    best = static_cast<int>(i);
+                }
+            }
+            if (best >= 0)
+                swz = candidates[static_cast<size_t>(best)];
         }
         return swz;
     } catch (const std::exception &e) {
@@ -562,16 +584,63 @@ int64_t
 enumerateWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
                     int elemBytes, const sim::GpuSpec &spec)
 {
+    if (refmode::active())
+        return enumerateWavefronts_reference(swz, distIn, elemBytes, spec);
+    LinearLayout dist = canonicalDist(
+        distIn.transposeOuts(swz.memLayout.getOutDimNames()));
+    const int numWarps = dist.getInDimSize(dims::kWarp);
+    const int accessBytes = swz.vecElems() * elemBytes;
+    auto reps = registerGroupReps(swz, dist);
+    WarpAccessTable table(swz, dist);
+    // Mirror the executors' windowed multi-pass schedule so the totals
+    // recorded on the plan match what the simulator will measure: each
+    // pass masks lanes whose offsets fall outside the current window and
+    // skips accesses with no active lane at all.
+    const int64_t numElems = swz.memLayout.getTotalInDimSize();
+    const int64_t window = swz.allocElems(numElems);
+    const int64_t passes = swz.passesFor(numElems);
+    std::vector<int64_t> offsets, byteAddrs;
+    offsets.reserve(static_cast<size_t>(table.warpSize()));
+    byteAddrs.reserve(static_cast<size_t>(table.warpSize()));
+    int64_t total = 0;
+    for (int64_t pass = 0; pass < passes; ++pass) {
+        const int64_t lo = pass * window;
+        for (int warp = 0; warp < numWarps; ++warp) {
+            for (int32_t rep : reps) {
+                offsets.clear();
+                table.offsetsInto(rep, warp, offsets);
+                byteAddrs.clear();
+                bool anyActive = false;
+                for (int64_t o : offsets) {
+                    if (swz.windowed() && (o < lo || o >= lo + window)) {
+                        byteAddrs.push_back(sim::kInactiveLane);
+                    } else {
+                        byteAddrs.push_back(
+                            (swz.windowed() ? o - lo : o) * elemBytes);
+                        anyActive = true;
+                    }
+                }
+                if (!anyActive)
+                    continue;
+                total += sim::SharedMemory::countWavefronts(
+                    spec, byteAddrs, accessBytes);
+            }
+        }
+    }
+    return total;
+}
+
+int64_t
+enumerateWavefronts_reference(const SwizzledShared &swz,
+                              const LinearLayout &distIn, int elemBytes,
+                              const sim::GpuSpec &spec)
+{
     LinearLayout dist = canonicalDist(
         distIn.transposeOuts(swz.memLayout.getOutDimNames()));
     const int warpSize = dist.getInDimSize(dims::kLane);
     const int numWarps = dist.getInDimSize(dims::kWarp);
     const int accessBytes = swz.vecElems() * elemBytes;
     auto reps = registerGroupReps(swz, dist);
-    // Mirror the executors' windowed multi-pass schedule so the totals
-    // recorded on the plan match what the simulator will measure: each
-    // pass masks lanes whose offsets fall outside the current window and
-    // skips accesses with no active lane at all.
     const int64_t numElems = swz.memLayout.getTotalInDimSize();
     const int64_t window = swz.allocElems(numElems);
     const int64_t passes = swz.passesFor(numElems);
@@ -669,6 +738,49 @@ analyticWavefronts(const SwizzledShared &swz, const LinearLayout &distIn,
     auto r = tryAnalyticWavefronts(swz, distIn, elemBytes, spec);
     llUserCheck(r.ok(), "analyticWavefronts: " << r.diag().toString());
     return *r;
+}
+
+WarpAccessTable::WarpAccessTable(const SwizzledShared &swz,
+                                 const LinearLayout &dist)
+    : swz_(swz)
+{
+    regLog_ = dist.getInDimSizeLog2(dims::kReg);
+    const int laneLog = dist.getInDimSizeLog2(dims::kLane);
+    const int warpLog = dist.hasInDim(dims::kWarp)
+                            ? dist.getInDimSizeLog2(dims::kWarp)
+                            : 0;
+    warpShift_ = regLog_ + laneLog;
+    const int totalBits = warpShift_ + warpLog;
+    cols_.resize(static_cast<size_t>(totalBits));
+    for (int i = 0; i < totalBits; ++i) {
+        cols_[static_cast<size_t>(i)] = swz.tensorToOffset.applyFlat(
+            dist.applyFlat(uint64_t(1) << i));
+    }
+    keepMask_ = ~(static_cast<uint64_t>(swz.vecElems()) - 1);
+    laneMasked_.assign(size_t(1) << laneLog, 0);
+    for (size_t lane = 1; lane < laneMasked_.size(); ++lane) {
+        laneMasked_[lane] =
+            laneMasked_[lane & (lane - 1)] ^
+            (cols_[static_cast<size_t>(regLog_) +
+                   static_cast<size_t>(std::countr_zero(lane))] &
+             keepMask_);
+    }
+}
+
+void
+WarpAccessTable::offsetsInto(int32_t rep, int32_t warp,
+                             std::vector<int64_t> &out) const
+{
+    uint64_t base = 0;
+    for (uint64_t m = static_cast<uint64_t>(rep); m != 0; m &= m - 1)
+        base ^= cols_[static_cast<size_t>(std::countr_zero(m))];
+    for (uint64_t m = static_cast<uint64_t>(warp); m != 0; m &= m - 1) {
+        base ^= cols_[static_cast<size_t>(warpShift_) +
+                      static_cast<size_t>(std::countr_zero(m))];
+    }
+    base &= keepMask_;
+    for (uint64_t lm : laneMasked_)
+        out.push_back(swz_.padOffset(static_cast<int64_t>(base ^ lm)));
 }
 
 std::vector<int64_t>

@@ -221,6 +221,57 @@ int64_t enumerateWavefronts(const SwizzledShared &swz,
                             const sim::GpuSpec &spec);
 
 /**
+ * The original enumerateWavefronts — one warpAccessOffsets layout walk
+ * per access — kept as the differential oracle for the table-driven
+ * fast path. enumerateWavefronts dispatches here under
+ * refmode::active().
+ */
+int64_t enumerateWavefronts_reference(const SwizzledShared &swz,
+                                      const LinearLayout &dist,
+                                      int elemBytes,
+                                      const sim::GpuSpec &spec);
+
+/**
+ * Precomputed per-warp access addressing for one (swizzle, distributed
+ * layout) pair. The map lane/reg/warp -> storage offset decomposes as
+ *     off(rep | lane | warp) = C(rep) ^ C(lane) ^ C(warp)
+ * over the composed columns C = tensorToOffset . dist (both maps are
+ * F2-linear; the affine padOffset is applied per lane afterwards, and
+ * the vec-window mask commutes with XOR). Building the table costs one
+ * applyFlat per input bit; each warp access afterwards is warpSize XORs
+ * — no layout objects, no per-access allocation. The differential suite
+ * pins the produced offsets bit-identical to warpAccessOffsets.
+ *
+ * `dist` must already be canonical: in-dims (register, lane, warp) in
+ * that order, outputs transposed to the swizzle's order — the form
+ * enumerateWavefronts and the executors work with.
+ */
+class WarpAccessTable
+{
+  public:
+    WarpAccessTable(const SwizzledShared &swz, const LinearLayout &dist);
+
+    int warpSize() const { return static_cast<int>(laneMasked_.size()); }
+
+    /**
+     * Append the warpSize() per-lane storage offsets of one vectorized
+     * warp access (register-group rep, warp) to `out` — identical
+     * values, in lane order, to warpAccessOffsets(swz, dist, rep, warp,
+     * warpSize()).
+     */
+    void offsetsInto(int32_t rep, int32_t warp,
+                     std::vector<int64_t> &out) const;
+
+  private:
+    const SwizzledShared &swz_;
+    int regLog_ = 0;
+    int warpShift_ = 0;             // regLog + laneLog
+    std::vector<uint64_t> cols_;    // composed columns, input-bit order
+    std::vector<uint64_t> laneMasked_; // per-lane XOR, vec bits cleared
+    uint64_t keepMask_ = 0;         // ~vecMask
+};
+
+/**
  * Per-lane element offsets for one vectorized warp access: lane l of
  * `dist` (at the given warp and register-group rep) accesses
  * swz.vecElems() consecutive elements starting at the returned offset.

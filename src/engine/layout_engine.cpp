@@ -474,10 +474,11 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
         }
 
         // Execution-triggered demotion: smoke-execute the plan; when an
-        // executor reports an ExecDiagnostic, knock out every planning
-        // rung at or above the failing plan's and re-plan one rung
-        // further down. The knockout sets grow strictly toward the
-        // terminal scalar rung, so this loop terminates.
+        // executor reports an ExecDiagnostic, resume planning at the
+        // rung strictly below the failing plan's (tryReplanBelow — the
+        // rungs above are not re-evaluated). The resume point moves
+        // strictly toward the terminal scalar rung, so this loop
+        // terminates.
         bool execDead = false;
         int demotions = 0;
         while (true) {
@@ -510,20 +511,25 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
                 "op " + std::to_string(i) + " (convert:" +
                 codegen::toString(plan->kind) +
                 "): execution failed: " + fail->toString());
-            auto knockout = codegen::demotionSitesFor(plan->kind);
-            if (knockout.empty()) {
+            if (plan->kind == codegen::ConversionKind::SharedScalar) {
                 // Terminal rung failed while executing: nothing below
                 // it to demote to.
                 execDead = true;
                 iter.arg("outcome", "terminal-failure");
                 break;
             }
-            auto replanned = [&]() {
-                // Thread-local overlay: under the compilation service,
-                // a global ScopedSet would leak this op's knockouts
-                // into concurrently planning threads.
-                failpoint::ScopedThreadLocal guard(std::move(knockout));
-                return tryPlan();
+            auto replanned =
+                [&]() -> Result<codegen::ConversionPlan> {
+                try {
+                    return codegen::tryReplanBelow(plan->kind, *have,
+                                                   dst, elemBytes,
+                                                   options_.spec);
+                } catch (const std::exception &e) {
+                    return makeDiag(DiagCode::PlannerInternalError,
+                                    "engine.replan",
+                                    std::string("planner threw: ") +
+                                        e.what());
+                }
             }();
             if (!replanned.ok()) {
                 stats.planDiagnostics.push_back(

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/refmode.h"
+
 namespace ll {
 namespace f2 {
 
@@ -51,7 +53,34 @@ F2Matrix::multiply(const F2Matrix &other) const
 }
 
 F2Matrix
+F2Matrix::multiply_reference(const F2Matrix &other) const
+{
+    llAssert(numCols() == other.numRows(),
+             "shape mismatch in multiply: " << rows_ << "x" << numCols()
+                 << " * " << other.numRows() << "x" << other.numCols());
+    F2Matrix out(rows_, other.numCols());
+    for (int j = 0; j < other.numCols(); ++j)
+        out.cols_[j] = apply_reference(other.cols_[j]);
+    return out;
+}
+
+F2Matrix
 F2Matrix::transpose() const
+{
+    if (refmode::active())
+        return transpose_reference();
+    uint64_t block[64] = {0};
+    for (int j = 0; j < numCols(); ++j)
+        block[j] = cols_[j];
+    transpose64(block);
+    F2Matrix out(numCols(), rows_);
+    for (int i = 0; i < rows_; ++i)
+        out.cols_[i] = block[i];
+    return out;
+}
+
+F2Matrix
+F2Matrix::transpose_reference() const
 {
     F2Matrix out(numCols(), rows_);
     for (int j = 0; j < numCols(); ++j)
@@ -62,23 +91,8 @@ F2Matrix::transpose() const
 }
 
 F2Matrix::Echelon
-F2Matrix::echelonForm(const std::vector<uint64_t> &augCols) const
+F2Matrix::eliminate(std::vector<uint64_t> rows, int n) const
 {
-    const int n = numCols();
-    const int width = n + static_cast<int>(augCols.size());
-    llAssert(width <= 64, "echelon width " << width << " exceeds 64 bits");
-
-    // Build packed rows of [M | aug].
-    std::vector<uint64_t> rows(static_cast<size_t>(rows_), 0);
-    for (int i = 0; i < rows_; ++i) {
-        uint64_t r = 0;
-        for (int j = 0; j < n; ++j)
-            r |= getBit(cols_[j], i) << j;
-        for (size_t a = 0; a < augCols.size(); ++a)
-            r |= getBit(augCols[a], i) << (n + a);
-        rows[i] = r;
-    }
-
     // Reduced row-echelon form, pivoting only on the M part. Rows are
     // collected only after elimination completes, so every stored pivot
     // row is fully reduced against all pivots (not just earlier ones).
@@ -110,10 +124,63 @@ F2Matrix::echelonForm(const std::vector<uint64_t> &augCols) const
     return ech;
 }
 
+F2Matrix::Echelon
+F2Matrix::echelonForm(const std::vector<uint64_t> &augCols) const
+{
+    if (refmode::active())
+        return echelonFormReference(augCols);
+    const int n = numCols();
+    const int width = n + static_cast<int>(augCols.size());
+    llAssert(width <= 64, "echelon width " << width << " exceeds 64 bits");
+
+    // Build packed rows of [M | aug] with one butterfly transpose of
+    // the column block: entry (i, j) of [M | aug] is bit i of packed
+    // column j, so the transposed block's word i is exactly row i.
+    uint64_t block[64] = {0};
+    for (int j = 0; j < n; ++j)
+        block[j] = cols_[j];
+    for (size_t a = 0; a < augCols.size(); ++a)
+        block[n + static_cast<int>(a)] = augCols[a];
+    transpose64(block);
+    std::vector<uint64_t> rows(block, block + rows_);
+    return eliminate(std::move(rows), n);
+}
+
+F2Matrix::Echelon
+F2Matrix::echelonFormReference(const std::vector<uint64_t> &augCols) const
+{
+    const int n = numCols();
+    const int width = n + static_cast<int>(augCols.size());
+    llAssert(width <= 64, "echelon width " << width << " exceeds 64 bits");
+
+    // Build packed rows of [M | aug] bit by bit.
+    std::vector<uint64_t> rows(static_cast<size_t>(rows_), 0);
+    for (int i = 0; i < rows_; ++i) {
+        uint64_t r = 0;
+        for (int j = 0; j < n; ++j)
+            r |= getBit(cols_[j], i) << j;
+        for (size_t a = 0; a < augCols.size(); ++a)
+            r |= getBit(augCols[a], i) << (n + a);
+        rows[i] = r;
+    }
+    return eliminate(std::move(rows), n);
+}
+
 int
 F2Matrix::rank() const
 {
     Echelon ech = echelonForm({});
+    int r = 0;
+    for (int p : ech.pivotCol)
+        if (p >= 0)
+            ++r;
+    return r;
+}
+
+int
+F2Matrix::rank_reference() const
+{
+    Echelon ech = echelonFormReference({});
     int r = 0;
     for (int p : ech.pivotCol)
         if (p >= 0)
@@ -157,6 +224,27 @@ F2Matrix::solve(uint64_t b) const
     return x;
 }
 
+std::optional<uint64_t>
+F2Matrix::solve_reference(uint64_t b) const
+{
+    llAssert(rows_ == 64 || b < (uint64_t(1) << rows_),
+             "rhs wider than row count");
+    Echelon ech = echelonFormReference({b});
+    const int n = numCols();
+    uint64_t x = 0;
+    for (size_t r = 0; r < ech.rows.size(); ++r) {
+        uint64_t augBit = getBit(ech.rows[r], n);
+        if (ech.pivotCol[r] >= 0) {
+            x = setBit(x, ech.pivotCol[r], augBit);
+        } else if ((ech.rows[r] & ((n < 64) ? ((uint64_t(1) << n) - 1)
+                                            : ~uint64_t(0))) == 0 &&
+                   augBit) {
+            return std::nullopt; // 0 = 1 row: inconsistent
+        }
+    }
+    return x;
+}
+
 F2Matrix
 F2Matrix::rightInverse() const
 {
@@ -167,8 +255,26 @@ F2Matrix::rightInverse() const
     aug.reserve(static_cast<size_t>(rows_));
     for (int i = 0; i < rows_; ++i)
         aug.push_back(uint64_t(1) << i);
-    Echelon ech = echelonForm(aug);
+    return rightInverseFromEchelon(echelonForm(aug));
+}
 
+F2Matrix
+F2Matrix::rightInverse_reference() const
+{
+    const int n = numCols();
+    llAssert(n + rows_ <= 64,
+             "rightInverse requires cols + rows <= 64 bits");
+    std::vector<uint64_t> aug;
+    aug.reserve(static_cast<size_t>(rows_));
+    for (int i = 0; i < rows_; ++i)
+        aug.push_back(uint64_t(1) << i);
+    return rightInverseFromEchelon(echelonFormReference(aug));
+}
+
+F2Matrix
+F2Matrix::rightInverseFromEchelon(const Echelon &ech) const
+{
+    const int n = numCols();
     F2Matrix out(n, rows_);
     for (size_t r = 0; r < ech.rows.size(); ++r) {
         if (ech.pivotCol[r] >= 0) {
@@ -190,7 +296,18 @@ F2Matrix::rightInverse() const
 std::vector<uint64_t>
 F2Matrix::kernelBasis() const
 {
-    Echelon ech = echelonForm({});
+    return kernelBasisFromEchelon(echelonForm({}));
+}
+
+std::vector<uint64_t>
+F2Matrix::kernelBasis_reference() const
+{
+    return kernelBasisFromEchelon(echelonFormReference({}));
+}
+
+std::vector<uint64_t>
+F2Matrix::kernelBasisFromEchelon(const Echelon &ech) const
+{
     const int n = numCols();
 
     std::vector<int> pivotOfCol(static_cast<size_t>(n), -1);

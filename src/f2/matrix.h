@@ -83,10 +83,24 @@ class F2Matrix
 
     /**
      * Apply the matrix to a packed vector: the XOR of the columns
-     * selected by the set bits of x.
+     * selected by the set bits of x. Word-parallel: each column is
+     * folded in with a branchless mask-select (`col & -bit`), so the
+     * loop is a straight run of ands and xors with no data-dependent
+     * branches.
      */
     uint64_t
     apply(uint64_t x) const
+    {
+        uint64_t acc = 0;
+        for (int j = 0; j < numCols(); ++j) {
+            acc ^= cols_[j] & (uint64_t(0) - ((x >> j) & 1));
+        }
+        return acc;
+    }
+
+    /** The original scalar apply, kept as the differential oracle. */
+    uint64_t
+    apply_reference(uint64_t x) const
     {
         uint64_t acc = 0;
         for (int j = 0; j < numCols(); ++j) {
@@ -99,10 +113,19 @@ class F2Matrix
     /** Matrix product this * other over F2. */
     F2Matrix multiply(const F2Matrix &other) const;
 
+    /** Scalar multiply via apply_reference, for the differential suite. */
+    F2Matrix multiply_reference(const F2Matrix &other) const;
+
     F2Matrix transpose() const;
+
+    /** The original per-bit transpose, kept as the differential oracle. */
+    F2Matrix transpose_reference() const;
 
     /** Rank via Gaussian elimination. */
     int rank() const;
+
+    /** Rank over the scalar echelon engine. */
+    int rank_reference() const;
 
     bool isSurjective() const { return rank() == rows_; }
     bool isInjective() const { return rank() == numCols(); }
@@ -125,8 +148,17 @@ class F2Matrix
      */
     F2Matrix rightInverse() const;
 
+    /** Scalar rightInverse over the reference echelon engine. */
+    F2Matrix rightInverse_reference() const;
+
     /** A basis of the null space, as packed column vectors. */
     std::vector<uint64_t> kernelBasis() const;
+
+    /** Scalar kernelBasis over the reference echelon engine. */
+    std::vector<uint64_t> kernelBasis_reference() const;
+
+    /** Scalar solve over the reference echelon engine. */
+    std::optional<uint64_t> solve_reference(uint64_t b) const;
 
     /** Stack this on top of other: [this; other] (same column count). */
     F2Matrix stackRows(const F2Matrix &other) const;
@@ -161,6 +193,12 @@ class F2Matrix
      * Row-echelon engine shared by rank / solve / inverse. Rows of
      * [M | aug] are packed as (row of M in low bits, aug row above).
      * Returns pivot column per row (or -1) and the reduced rows.
+     *
+     * The fast engine packs [M | aug] rows with one 64x64 butterfly
+     * transpose (support/bits.h transpose64) instead of the reference
+     * engine's per-bit gather; elimination itself was always row-packed.
+     * echelonForm dispatches to the reference engine under
+     * refmode::active() so whole runs can be replayed on scalar paths.
      */
     struct Echelon
     {
@@ -168,6 +206,11 @@ class F2Matrix
         std::vector<int> pivotCol;    // pivot column index per stored row
     };
     Echelon echelonForm(const std::vector<uint64_t> &augCols) const;
+    Echelon echelonFormReference(const std::vector<uint64_t> &augCols)
+        const;
+    Echelon eliminate(std::vector<uint64_t> rows, int n) const;
+    F2Matrix rightInverseFromEchelon(const Echelon &ech) const;
+    std::vector<uint64_t> kernelBasisFromEchelon(const Echelon &ech) const;
 
     int rows_;
     std::vector<uint64_t> cols_;

@@ -20,9 +20,19 @@ namespace f2 {
 /**
  * An incrementally-built reduced echelon basis of a subspace of F2^d.
  *
- * Vectors are kept fully reduced against each other, so membership tests
+ * Vectors are kept reduced against each other, so membership tests
  * ("is v in the span?") are a single reduction pass. This is the workhorse
  * behind span/complement/completion queries.
+ *
+ * The basis is stored as a pivot table indexed by leading bit: reduce is
+ * "XOR out the pivot row while the leading bit has one", and insert is an
+ * O(1) table write plus back-reduction of the pivots above it. Reduction
+ * by leading bit is a forced procedure — every step is determined by the
+ * current leading bit and the unique pivot row holding it — so the table
+ * form produces bit-identical values and vectors() order (descending
+ * pivot == descending value when leading bits are distinct) to the
+ * sorted-vector EchelonBasisReference below, which the differential
+ * suite checks exhaustively.
  */
 class EchelonBasis
 {
@@ -47,6 +57,30 @@ class EchelonBasis
     int dimension() const { return static_cast<int>(basis_.size()); }
 
     /** The reduced basis vectors, in decreasing leading-bit order. */
+    const std::vector<uint64_t> &vectors() const { return basis_; }
+
+  private:
+    uint64_t table_[64] = {0}; // table_[p] = basis vector with leading bit p
+    uint64_t pivotMask_ = 0;   // bit p set iff table_[p] is occupied
+    std::vector<uint64_t> basis_; // table entries, descending pivot order
+};
+
+/**
+ * The original sorted-vector echelon basis, kept verbatim as the
+ * differential oracle for EchelonBasis.
+ */
+class EchelonBasisReference
+{
+  public:
+    EchelonBasisReference() = default;
+
+    explicit EchelonBasisReference(const std::vector<uint64_t> &generators);
+
+    bool insert(uint64_t v);
+    bool contains(uint64_t v) const;
+    uint64_t reduce(uint64_t v) const;
+
+    int dimension() const { return static_cast<int>(basis_.size()); }
     const std::vector<uint64_t> &vectors() const { return basis_; }
 
   private:
@@ -93,6 +127,26 @@ std::vector<uint64_t> intersectSpans(const std::vector<uint64_t> &u,
  * i. Intended for small k (asserts k <= 20).
  */
 std::vector<uint64_t> enumerateSpan(const std::vector<uint64_t> &basis);
+
+/**
+ * Scalar references for the free functions above, preserved verbatim for
+ * the differential suite. The fast functions dispatch to these when
+ * refmode::active() (LL_F2_REFERENCE=1), so whole planning runs can be
+ * replayed on the scalar paths and compared bit for bit.
+ */
+std::vector<uint64_t>
+reduceToBasis_reference(const std::vector<uint64_t> &vectors);
+int rankOfVectors_reference(const std::vector<uint64_t> &vectors);
+bool spanContains_reference(const std::vector<uint64_t> &basis, uint64_t v);
+std::vector<uint64_t>
+complementBasis_reference(const std::vector<uint64_t> &basis, int dim);
+std::vector<uint64_t>
+completeBasis_reference(const std::vector<uint64_t> &basis, int dim);
+std::vector<uint64_t> intersectSpans_reference(const std::vector<uint64_t> &u,
+                                               const std::vector<uint64_t> &v,
+                                               int dim);
+std::vector<uint64_t>
+enumerateSpan_reference(const std::vector<uint64_t> &basis);
 
 } // namespace f2
 } // namespace ll

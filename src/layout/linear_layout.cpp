@@ -5,6 +5,7 @@
 
 #include "f2/subspace.h"
 #include "support/bits.h"
+#include "support/refmode.h"
 #include "support/string_utils.h"
 
 namespace ll {
@@ -83,6 +84,7 @@ LinearLayout::validate(bool requireSurjective)
     }
 
     // Surjectivity: the flattened columns must span the output space.
+    // The same columns, in input-bit order, become the applyFlat cache.
     std::vector<uint64_t> cols;
     for (const auto &[inDim, vecs] : bases_) {
         (void)vecs;
@@ -93,6 +95,7 @@ LinearLayout::validate(bool requireSurjective)
         f2::rankOfVectors(cols) == getTotalOutDimSizeLog2();
     llUserCheck(!requireSurjective || surjective_,
                 "layout is not surjective onto its output space");
+    flatCache_ = std::move(cols);
 }
 
 LinearLayout
@@ -351,6 +354,19 @@ LinearLayout::apply(const std::vector<DimSize> &ins) const
 
 uint64_t
 LinearLayout::applyFlat(uint64_t in) const
+{
+    if (refmode::active())
+        return applyFlat_reference(in);
+    const int pos = static_cast<int>(flatCache_.size());
+    llAssert((in >> pos) == 0, "applyFlat: index out of range");
+    uint64_t acc = 0;
+    for (int i = 0; i < pos; ++i)
+        acc ^= flatCache_[i] & (uint64_t(0) - ((in >> i) & 1));
+    return acc;
+}
+
+uint64_t
+LinearLayout::applyFlat_reference(uint64_t in) const
 {
     uint64_t acc = 0;
     int pos = 0;

@@ -147,8 +147,18 @@ class LinearLayout
      */
     std::vector<DimSize> apply(const std::vector<DimSize> &ins) const;
 
-    /** Apply to a flattened input index, returning a flattened output. */
+    /**
+     * Apply to a flattened input index, returning a flattened output.
+     * Word-parallel: folds the cached flattened basis columns (built once
+     * in validate()) with branchless mask-selects, no per-call allocation.
+     */
     uint64_t applyFlat(uint64_t in) const;
+
+    /**
+     * The original applyFlat — re-flattens the bases on every call —
+     * kept as the differential oracle for the fast path.
+     */
+    uint64_t applyFlat_reference(uint64_t in) const;
 
     /**
      * Composition outer . this (Definition 4.2): apply this first, then
@@ -300,6 +310,10 @@ class LinearLayout
     BasesT bases_;
     std::vector<DimSize> outDims_;
     bool surjective_ = true;
+    // Flattened basis column per input bit, in input-bit order. Derived
+    // from bases_/outDims_ in validate(); never mutated afterwards, so
+    // interner-shared layouts can applyFlat concurrently without locks.
+    std::vector<uint64_t> flatCache_;
 };
 
 std::ostream &operator<<(std::ostream &os, const LinearLayout &layout);

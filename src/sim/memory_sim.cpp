@@ -1,9 +1,11 @@
 #include "sim/memory_sim.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "support/diagnostics.h"
+#include "support/refmode.h"
 
 namespace ll {
 namespace sim {
@@ -31,6 +33,57 @@ int64_t
 SharedMemory::countWavefronts(const GpuSpec &spec,
                               const std::vector<int64_t> &byteAddrs,
                               int accessBytes)
+{
+    if (refmode::active())
+        return countWavefronts_reference(spec, byteAddrs, accessBytes);
+    // Same model as the reference below, but flat: a word's bank is a
+    // function of the word (w % numBanks), so the per-bank sets of the
+    // reference are just the residue classes of the distinct word list.
+    // Sort + unique a small reused buffer instead of building a map of
+    // sets per lane group — this counter runs millions of times per
+    // planning sweep.
+    const int wordBytes = spec.bankWidthBytes;
+    const int lanesPerGroup =
+        std::max(1, spec.wavefrontBytes / std::max(accessBytes, 1));
+    std::vector<int64_t> words;
+    words.reserve(byteAddrs.size() * 2 + 8);
+    std::vector<int32_t> perBank(
+        static_cast<size_t>(std::max(1, spec.numBanks)), 0);
+    int64_t wavefronts = 0;
+    for (size_t base = 0; base < byteAddrs.size();
+         base += static_cast<size_t>(lanesPerGroup)) {
+        words.clear();
+        for (size_t l = base;
+             l < std::min(byteAddrs.size(),
+                          base + static_cast<size_t>(lanesPerGroup));
+             ++l) {
+            if (byteAddrs[l] == kInactiveLane)
+                continue;
+            int64_t first = byteAddrs[l] / wordBytes;
+            int64_t last = (byteAddrs[l] + accessBytes - 1) / wordBytes;
+            for (int64_t w = first; w <= last; ++w)
+                words.push_back(w);
+        }
+        if (words.empty())
+            continue;
+        std::sort(words.begin(), words.end());
+        words.erase(std::unique(words.begin(), words.end()), words.end());
+        int64_t worst = 1;
+        for (int64_t w : words) {
+            auto bank = static_cast<size_t>(w % spec.numBanks);
+            worst = std::max(worst, static_cast<int64_t>(++perBank[bank]));
+        }
+        for (int64_t w : words)
+            perBank[static_cast<size_t>(w % spec.numBanks)] = 0;
+        wavefronts += worst;
+    }
+    return wavefronts;
+}
+
+int64_t
+SharedMemory::countWavefronts_reference(const GpuSpec &spec,
+                                        const std::vector<int64_t> &byteAddrs,
+                                        int accessBytes)
 {
     // A warp request is issued in groups of lanes such that each group
     // moves at most wavefrontBytes; within a group, lanes touching

@@ -88,6 +88,15 @@ class SharedMemory
                                    const std::vector<int64_t> &byteAddrs,
                                    int accessBytes);
 
+    /**
+     * The original node-based (map of sets) wavefront counter, kept as
+     * the differential oracle for the sort-based fast path above.
+     */
+    static int64_t
+    countWavefronts_reference(const GpuSpec &spec,
+                              const std::vector<int64_t> &byteAddrs,
+                              int accessBytes);
+
     /** Transaction count for the same access (the no-conflict floor). */
     static int64_t countTransactions(const GpuSpec &spec,
                                      const std::vector<int64_t> &byteAddrs,

@@ -78,6 +78,38 @@ nextPowerOf2(uint64_t x)
     return uint64_t(1) << log2Ceil(x);
 }
 
+/** Index of the highest set bit; x must be nonzero. */
+inline int
+leadingBit(uint64_t x)
+{
+    llAssert(x != 0, "leadingBit(0) undefined");
+    return 63 - std::countl_zero(x);
+}
+
+/**
+ * In-place 64x64 bit-matrix transpose by recursive block swaps (the
+ * classic Hacker's Delight butterfly): after the call, bit i of m[j] is
+ * the old bit j of m[i]. Six rounds of masked swap-XORs replace the
+ * 4096 single-bit get/set operations of the naive transpose — this is
+ * what makes building echelon rows from column-packed storage
+ * word-parallel.
+ */
+inline void
+transpose64(uint64_t a[64])
+{
+    // LSB-first variant: bit 0 is row/column 0. (Hacker's Delight prints
+    // the MSB-first form, whose result is the transpose of the
+    // bit-reversed matrix under this convention.)
+    uint64_t m = 0x00000000ffffffffull;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+            uint64_t t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+        }
+    }
+}
+
 } // namespace ll
 
 #endif // LL_SUPPORT_BITS_H

@@ -1,0 +1,165 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ll {
+namespace support {
+
+namespace {
+
+/** One parallelFor call in flight. Indices are claimed atomically; the
+ *  submitting thread and any pool worker drain the same counter. */
+struct Batch
+{
+    int n = 0;
+    const std::function<void(int)> *fn = nullptr;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+
+    /** Claim-and-run one task. Returns false when nothing is left. */
+    bool
+    runOne()
+    {
+        int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return false;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error)
+                error = std::current_exception();
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            std::lock_guard<std::mutex> lock(mu);
+            cv.notify_all();
+        }
+        return true;
+    }
+};
+
+struct Pool
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Batch>> queue;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+
+    Pool()
+    {
+        const int n = configuredWorkers();
+        for (int w = 0; w < n; ++w)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stopping = true;
+            cv.notify_all();
+        }
+        for (auto &t : workers)
+            t.join();
+    }
+
+    static int
+    configuredWorkers()
+    {
+        int hw = static_cast<int>(std::thread::hardware_concurrency());
+        int n = std::max(1, std::min(hw - 1, 8));
+        if (const char *env = std::getenv("LL_PARALLEL")) {
+            int v = std::atoi(env);
+            n = std::max(0, std::min(v, 64));
+        }
+        return n;
+    }
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::shared_ptr<Batch> batch;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+                if (queue.empty())
+                    return; // stopping with nothing queued
+                batch = queue.front();
+            }
+            if (!batch->runOne()) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!queue.empty() && queue.front() == batch)
+                    queue.pop_front();
+            }
+        }
+    }
+
+    void
+    submit(const std::shared_ptr<Batch> &batch)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(batch);
+        cv.notify_all();
+    }
+};
+
+Pool &
+pool()
+{
+    // Function-local static: built on first fan-out, joined after main.
+    // No parallelFor runs during static destruction, so tearing the
+    // workers down at exit is safe (and keeps LeakSanitizer quiet).
+    static Pool p;
+    return p;
+}
+
+} // namespace
+
+int
+parallelWorkers()
+{
+    return Pool::configuredWorkers();
+}
+
+void
+parallelFor(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (n == 1 || parallelWorkers() == 0) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    pool().submit(batch);
+    // The caller drains its own batch too, so completion never depends
+    // on a free pool slot — recursive parallelFor cannot deadlock.
+    while (batch->runOne()) {
+    }
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+        return batch->done.load(std::memory_order_acquire) == n;
+    });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+} // namespace support
+} // namespace ll

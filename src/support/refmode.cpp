@@ -1,0 +1,35 @@
+#include "support/refmode.h"
+
+#include <cstdlib>
+
+namespace ll {
+namespace refmode {
+
+namespace detail {
+std::atomic<bool> gReferenceMode{false};
+} // namespace detail
+
+void
+set(bool on)
+{
+    detail::gReferenceMode.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Reads LL_F2_REFERENCE once at startup for any binary linking support.
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *p = std::getenv("LL_F2_REFERENCE");
+        if (p != nullptr && *p != '\0' && *p != '0')
+            set(true);
+    }
+};
+EnvInit gEnvInit;
+
+} // namespace
+
+} // namespace refmode
+} // namespace ll

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Global reference-mode switch for the word-parallel F2 core.
+ *
+ * Every hot bit-level loop in the library (F2Matrix application and
+ * elimination, LinearLayout::applyFlat, wavefront counting and
+ * enumeration) keeps its original scalar implementation as a
+ * `*_reference` function and grew a 64-lane word-parallel rewrite. The
+ * two must be bit-identical; this switch lets a whole process run on
+ * the reference path so the differential suite, the `llfuzz --diff-f2`
+ * fuzzer, and the fig9 speedup-guard benchmark can compare entire
+ * planning runs — plans, checksums, and wall time — across the two
+ * implementations.
+ *
+ * The mode is a process-wide atomic read at full-seq-cst only on the
+ * slow path; hot loops read it once per call with relaxed ordering.
+ * Setting LL_F2_REFERENCE=1 in the environment turns the mode on at
+ * startup for any binary that links this file.
+ */
+
+#ifndef LL_SUPPORT_REFMODE_H
+#define LL_SUPPORT_REFMODE_H
+
+#include <atomic>
+
+namespace ll {
+namespace refmode {
+
+namespace detail {
+extern std::atomic<bool> gReferenceMode;
+} // namespace detail
+
+/** True when the process should take the scalar reference paths. */
+inline bool
+active()
+{
+    return detail::gReferenceMode.load(std::memory_order_relaxed);
+}
+
+/** Flip the mode (tests and tools; not thread-safe vs. running work). */
+void set(bool on);
+
+/** RAII scope for tests: reference mode inside, restored on exit. */
+class Scoped
+{
+  public:
+    explicit Scoped(bool on = true) : prev_(active()) { set(on); }
+    ~Scoped() { set(prev_); }
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace refmode
+} // namespace ll
+
+#endif // LL_SUPPORT_REFMODE_H

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "ir/function.h"
 #include "layout/dims.h"
 #include "support/failpoint.h"
+#include "support/metrics.h"
 #include "triton/encodings.h"
 
 namespace ll {
@@ -234,6 +236,47 @@ TEST(ExecFallback, ShuffleExecSitesDemoteToOracleCleanSharedPlan)
                 << dr.report.toString();
         }
     }
+}
+
+// Demotion must resume the ladder strictly below the failed rung
+// instead of re-walking it from the top: a forced mid-ladder execution
+// failure leaves the rungs at or above the failure evaluated exactly
+// once (by the initial plan), while the demoted re-plan starts at the
+// rung below. Counted via the plan.rung.*.evaluated metrics.
+TEST(ExecFallback, DemotedReplanResumesBelowFailedRung)
+{
+    ConversionCase c = shuffleCase();
+    {
+        auto plan = planWith(c, {});
+        ASSERT_EQ(plan.kind, ConversionKind::WarpShuffle)
+            << "fixture no longer plans to the shuffle rung";
+    }
+    auto &reg = metrics::Registry::instance();
+    auto at = [](const std::map<std::string, int64_t> &snap,
+                 const std::string &name) {
+        auto it = snap.find(name);
+        return it == snap.end() ? int64_t(0) : it->second;
+    };
+    const auto before = reg.counterSnapshot();
+
+    failpoint::activate("exec.shuffle.shape", 1);
+    DemotionReport dr = check::checkCaseWithDemotion(c);
+    failpoint::deactivate("exec.shuffle.shape");
+    ASSERT_TRUE(dr.survived);
+    ASSERT_EQ(dr.demotions, 1);
+    EXPECT_GT(rung(dr.finalKind), rung(ConversionKind::WarpShuffle));
+
+    const auto after = reg.counterSnapshot();
+    auto delta = [&](const std::string &name) {
+        return at(after, name) - at(before, name);
+    };
+    // The initial plan walks rungs 1-3 exactly once; the demoted
+    // re-plan resumes at rung 4 and never revisits them.
+    EXPECT_EQ(delta("plan.rung.noop.evaluated"), 1);
+    EXPECT_EQ(delta("plan.rung.register-permute.evaluated"), 1);
+    EXPECT_EQ(delta("plan.rung.warp-shuffle.evaluated"), 1);
+    EXPECT_GE(delta("plan.rung.shared-memory.evaluated"), 1);
+    EXPECT_EQ(delta("plan.replans"), 1);
 }
 
 // The gather executor is not part of the conversion ladder, so its

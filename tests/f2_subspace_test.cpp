@@ -185,6 +185,90 @@ TEST_P(IntersectionDims, DimensionFormulaHolds)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntersectionDims, ::testing::Range(0, 25));
 
+// ----------------------------------------------------------------------
+// Differential suite: the pivot-table EchelonBasis and the word-parallel
+// free functions against their scalar references, bit for bit.
+// ----------------------------------------------------------------------
+
+class SubspaceDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SubspaceDifferential, EchelonBasisMatchesReferenceBitForBit)
+{
+    std::mt19937 rng(0x5eedu + static_cast<unsigned>(GetParam()));
+    std::uniform_int_distribution<int> dimDist(1, 64);
+    const int dim = dimDist(rng);
+    std::uniform_int_distribution<uint64_t> vec(
+        0, (dim == 64) ? ~uint64_t(0) : (uint64_t(1) << dim) - 1);
+    EchelonBasis fast;
+    EchelonBasisReference ref;
+    for (int i = 0; i < 96; ++i) {
+        const uint64_t v = vec(rng);
+        EXPECT_EQ(fast.insert(v), ref.insert(v)) << "vector " << v;
+        ASSERT_EQ(fast.vectors(), ref.vectors()) << "after vector " << v;
+        EXPECT_EQ(fast.dimension(), ref.dimension());
+        const uint64_t probe = vec(rng);
+        EXPECT_EQ(fast.reduce(probe), ref.reduce(probe));
+        EXPECT_EQ(fast.contains(probe), ref.contains(probe));
+    }
+    // Generator constructor must agree with incremental insertion.
+    std::vector<uint64_t> gens;
+    for (int i = 0; i < 10; ++i)
+        gens.push_back(vec(rng));
+    EXPECT_EQ(EchelonBasis(gens).vectors(),
+              EchelonBasisReference(gens).vectors());
+}
+
+TEST_P(SubspaceDifferential, FreeFunctionsMatchReferenceBitForBit)
+{
+    std::mt19937 rng(0xabcdu + static_cast<unsigned>(GetParam()));
+    std::uniform_int_distribution<int> dimDist(1, 32);
+    const int dim = dimDist(rng);
+    std::uniform_int_distribution<int> count(0, 12);
+    auto u = randomVectors(rng, count(rng), dim);
+    auto v = randomVectors(rng, count(rng), dim);
+
+    EXPECT_EQ(reduceToBasis(u), reduceToBasis_reference(u));
+    EXPECT_EQ(rankOfVectors(u), rankOfVectors_reference(u));
+    const auto ubasis = reduceToBasis(u);
+    const uint64_t probe = randomVectors(rng, 1, dim)[0];
+    EXPECT_EQ(spanContains(ubasis, probe),
+              spanContains_reference(ubasis, probe));
+    EXPECT_EQ(complementBasis(ubasis, dim),
+              complementBasis_reference(ubasis, dim));
+    EXPECT_EQ(completeBasis(ubasis, dim),
+              completeBasis_reference(ubasis, dim));
+    EXPECT_EQ(intersectSpans(u, v, dim),
+              intersectSpans_reference(u, v, dim));
+    EXPECT_EQ(enumerateSpan(ubasis), enumerateSpan_reference(ubasis));
+}
+
+// 1x1 / degenerate shapes: dimension-1 spaces, empty inputs, the zero
+// vector — every reference twin must agree on the edges too.
+TEST(SubspaceDifferential, DegenerateShapesMatchReference)
+{
+    const std::vector<uint64_t> empty;
+    EXPECT_EQ(reduceToBasis(empty), reduceToBasis_reference(empty));
+    EXPECT_EQ(rankOfVectors(empty), rankOfVectors_reference(empty));
+    EXPECT_EQ(enumerateSpan(empty), enumerateSpan_reference(empty));
+    EXPECT_EQ(intersectSpans(empty, empty, 1),
+              intersectSpans_reference(empty, empty, 1));
+    const std::vector<uint64_t> one = {1};
+    EXPECT_EQ(reduceToBasis(one), reduceToBasis_reference(one));
+    EXPECT_EQ(complementBasis(one, 1), complementBasis_reference(one, 1));
+    EXPECT_EQ(completeBasis(one, 1), completeBasis_reference(one, 1));
+    EXPECT_EQ(intersectSpans(one, one, 1),
+              intersectSpans_reference(one, one, 1));
+    EXPECT_EQ(spanContains(one, 0), spanContains_reference(one, 0));
+    const std::vector<uint64_t> zeros = {0, 0, 0};
+    EXPECT_EQ(reduceToBasis(zeros), reduceToBasis_reference(zeros));
+    EXPECT_EQ(rankOfVectors(zeros), rankOfVectors_reference(zeros));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubspaceDifferential,
+                         ::testing::Range(0, 40));
+
 } // namespace
 } // namespace f2
 } // namespace ll

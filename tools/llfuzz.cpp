@@ -16,7 +16,7 @@
  * Usage:
  *   llfuzz [--seed N] [--iters M] [--max-rank R] [--emit-corpus DIR]
  *          [--replay FILE] [--inject-bug] [--failpoint-rate P]
- *          [--verbose]
+ *          [--diff-f2] [--verbose]
  *
  * --inject-bug runs the harness self-test: a swizzle-aliasing bug is
  * deliberately injected into a shared-memory plan; the oracle must catch
@@ -48,6 +48,12 @@
  * every surviving demotion is oracle-clean, and that the budget
  * reached at least one demotion and at least one demote-then-plan-fail
  * terminal.
+ *
+ * --diff-f2 fuzzes the word-parallel F2 core against its scalar
+ * references: every case is planned twice (fast paths, then
+ * refmode::Scoped reference paths) and any divergence in describePlan
+ * output or enumerated wavefront totals fails the run and is shrunk to
+ * a minimal reproducer.
  */
 
 #include <cstring>
@@ -62,7 +68,9 @@
 #include "check/shrink.h"
 #include "codegen/conversion.h"
 #include "codegen/gather.h"
+#include "codegen/swizzle.h"
 #include "support/failpoint.h"
+#include "support/refmode.h"
 
 using namespace ll;
 
@@ -79,6 +87,7 @@ struct Options
     double failpointRate = 0.0;
     bool failpointCoverage = false;
     bool failpointPairs = false;
+    bool diffF2 = false;
     bool verbose = false;
 };
 
@@ -90,7 +99,7 @@ usage()
            "              [--emit-corpus DIR] [--replay FILE]\n"
            "              [--inject-bug] [--failpoint-rate P]\n"
            "              [--failpoint-coverage] [--failpoint-pairs]\n"
-           "              [--verbose]\n";
+           "              [--diff-f2] [--verbose]\n";
 }
 
 bool
@@ -136,6 +145,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.failpointCoverage = true;
         } else if (arg == "--failpoint-pairs") {
             opt.failpointPairs = true;
+        } else if (arg == "--diff-f2") {
+            opt.diffF2 = true;
         } else if (arg == "--failpoint-rate") {
             const char *v = needValue("--failpoint-rate");
             if (!v)
@@ -570,6 +581,94 @@ runFailpointPairs(const Options &opt)
 
 } // namespace
 
+/**
+ * --diff-f2: differential fuzzing of the word-parallel F2 core. Every
+ * random case is planned twice — once on the fast word-parallel paths
+ * and once entirely on the scalar reference paths (refmode::Scoped) —
+ * and any divergence in describePlan output (plan kind, parameters,
+ * FNV schedule/basis digests) or in the enumerated wavefront totals of
+ * a shared plan is a failure, shrunk with the standard case shrinker.
+ */
+int
+runDiffF2(const Options &opt)
+{
+    auto diffChecker = [](const check::ConversionCase &c) {
+        check::OracleReport report;
+        auto spec = c.spec();
+        failpoint::ScopedSet guard(c.failpoints);
+        std::string fast, ref;
+        int64_t fastWf = 0, refWf = 0;
+        auto planOnce = [&](std::string &desc, int64_t &wf) {
+            auto plan = codegen::tryPlanConversion(c.src, c.dst,
+                                                   c.elemBytes, spec);
+            if (!plan.ok()) {
+                desc = "unplanned: " + plan.diag().toString();
+                return;
+            }
+            report.kind = plan->kind;
+            desc = codegen::describePlan(*plan);
+            // Inside refmode::Scoped this dispatches to the reference
+            // enumeration, so the totals compare fast-vs-scalar too.
+            if (plan->shared.has_value()) {
+                wf = codegen::enumerateWavefronts(*plan->shared, c.src,
+                                                  c.elemBytes, spec) +
+                     codegen::enumerateWavefronts(*plan->shared, c.dst,
+                                                  c.elemBytes, spec);
+            }
+        };
+        planOnce(fast, fastWf);
+        {
+            refmode::Scoped scoped;
+            planOnce(ref, refWf);
+        }
+        if (fast != ref) {
+            report.structureOk = false;
+            report.detail =
+                "word-parallel vs reference describePlan diverged:\n"
+                "  fast: " + fast + "\n  ref:  " + ref;
+        } else if (fastWf != refWf) {
+            report.structureOk = false;
+            report.detail = "word-parallel vs reference wavefront "
+                            "totals diverged: fast=" +
+                            std::to_string(fastWf) +
+                            " ref=" + std::to_string(refWf);
+        }
+        return report;
+    };
+
+    std::mt19937 rng(opt.seed);
+    check::GenOptions gen;
+    gen.maxRank = opt.maxRank;
+    std::map<std::string, int> kindCounts;
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        auto c = check::randomConversionCase(rng, gen);
+        check::OracleReport report;
+        try {
+            report = diffChecker(c);
+        } catch (const std::exception &e) {
+            std::cerr << "EXCEPTION on " << c.summary << ": " << e.what()
+                      << "\n";
+            return reportFailure(c, report, diffChecker);
+        }
+        ++kindCounts[codegen::toString(report.kind)];
+        if (opt.verbose) {
+            std::cout << "[" << iter << "] " << c.summary << ": "
+                      << (report.ok() ? "equivalent" : report.detail)
+                      << "\n";
+        }
+        if (!report.ok())
+            return reportFailure(c, report, diffChecker);
+    }
+
+    std::cout << "llfuzz --diff-f2: " << opt.iters
+              << " cases planned word-parallel and scalar, no "
+                 "divergence (seed "
+              << opt.seed << ")\n";
+    for (const auto &[kind, count] : kindCounts)
+        std::cout << "  " << kind << ": " << count << "\n";
+    return 0;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -589,6 +688,9 @@ main(int argc, char **argv)
 
     if (opt.failpointPairs)
         return runFailpointPairs(opt);
+
+    if (opt.diffF2)
+        return runDiffF2(opt);
 
     if (!opt.replayFile.empty()) {
         check::ConversionCase c;
