@@ -9,6 +9,7 @@
 #include "layout/dims.h"
 #include "sim/memory_sim.h"
 #include "support/bits.h"
+#include "support/deadline.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -444,6 +445,30 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
         return false;
     };
 
+    // Cooperative cancellation for the serving path: when the calling
+    // request's deadline (deadline::Scoped, thread-local) has expired,
+    // the rung boundaries below skip straight to the terminal scalar
+    // rung instead of sweeping the expensive middle rungs. The demoted
+    // plan stays correct — scalar is total over valid inputs — and the
+    // DeadlineExceeded note keeps it out of the shared plan cache (the
+    // demotion reflects load, not the inputs). Checked only between
+    // rungs, so a rung in progress always completes its evaluation.
+    bool deadlineDemoted = false;
+    auto deadlineCutoff = [&]() {
+        if (deadlineDemoted)
+            return true;
+        if (!deadline::expired())
+            return false;
+        deadlineDemoted = true;
+        notes.note(DiagCode::DeadlineExceeded, "plan.deadline",
+                   "request deadline expired mid-plan; demoting to the "
+                   "terminal scalar rung");
+        static auto &demotions =
+            metrics::counter("plan.deadline_demotions");
+        demotions.inc();
+        return true;
+    };
+
     // Each rung gets its own span so a trace shows where planning time
     // went and why the ladder stepped down (see DESIGN.md
     // "Observability" for the taxonomy).
@@ -488,7 +513,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     }
 
     // Rung 3: data stays within each warp.
-    if (startRung <= kRungWarpShuffle) {
+    if (startRung <= kRungWarpShuffle && !deadlineCutoff()) {
         trace::Span rung("plan.rung.warp-shuffle", "plan");
         static auto &evals =
             metrics::counter("plan.rung.warp-shuffle.evaluated");
@@ -519,7 +544,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
 
     // Rungs 4-6 go through shared memory. The matrix instructions are
     // independently droppable riders on rung 4.
-    if (startRung <= kRungSharedMemory) {
+    if (startRung <= kRungSharedMemory && !deadlineCutoff()) {
     bool allowLdmatrix = true;
     if (LL_FAILPOINT("plan.ldmatrix")) {
         allowLdmatrix = false;
@@ -632,7 +657,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
     } // startRung <= kRungSharedMemory
 
     // Rung 5: unswizzled shared memory with bank-offset padding.
-    if (startRung <= kRungSharedPadded) {
+    if (startRung <= kRungSharedPadded && !deadlineCutoff()) {
         trace::Span rung("plan.rung.shared-padded", "plan");
         static auto &evals =
             metrics::counter("plan.rung.shared-padded.evaluated");

@@ -1,0 +1,150 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "support/failpoint.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace ll {
+namespace service {
+
+std::string
+toString(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::Block:
+        return "block";
+      case AdmissionPolicy::ShedNewest:
+        return "shed-newest";
+      case AdmissionPolicy::ShedOldest:
+        return "shed-oldest";
+    }
+    return "unknown";
+}
+
+std::optional<AdmissionPolicy>
+parseAdmissionPolicy(const std::string &s)
+{
+    if (s == "block")
+        return AdmissionPolicy::Block;
+    if (s == "shed-newest")
+        return AdmissionPolicy::ShedNewest;
+    if (s == "shed-oldest")
+        return AdmissionPolicy::ShedOldest;
+    return std::nullopt;
+}
+
+AdmissionQueue::AdmissionQueue(Config config)
+    : config_{std::max<size_t>(config.capacity, 1), config.policy}
+{
+}
+
+AdmissionQueue::PushResult
+AdmissionQueue::push(ServerJob job, std::vector<ServerJob> &shed)
+{
+    trace::Span span("service.admit", "service");
+    if (span.active())
+        span.arg("policy", toString(config_.policy));
+
+    // The admission-control fault drill: shed regardless of capacity.
+    if (LL_FAILPOINT("svc.admit")) {
+        static auto &fpShed =
+            metrics::counter("service.admit.failpoint_shed");
+        fpShed.inc();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.shedFailpoint;
+        span.arg("outcome", "shed-failpoint");
+        return PushResult::Shed;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    if (config_.policy == AdmissionPolicy::Block) {
+        cvSpace_.wait(lock, [&] {
+            return closed_ || queue_.size() < config_.capacity;
+        });
+    }
+    if (closed_) {
+        ++stats_.shedClosed;
+        span.arg("outcome", "shed-closed");
+        return PushResult::Shed;
+    }
+    if (queue_.size() >= config_.capacity) {
+        if (config_.policy == AdmissionPolicy::ShedNewest) {
+            ++stats_.shedNewest;
+            static auto &shedNew =
+                metrics::counter("service.admit.shed_newest");
+            shedNew.inc();
+            span.arg("outcome", "shed-newest");
+            if (span.active())
+                span.arg("depth",
+                         static_cast<int64_t>(queue_.size()));
+            return PushResult::Shed;
+        }
+        // ShedOldest: make room by evicting from the head — those jobs
+        // have waited longest and are closest to their deadlines.
+        while (queue_.size() >= config_.capacity) {
+            shed.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            ++stats_.shedOldest;
+            static auto &shedOld =
+                metrics::counter("service.admit.shed_oldest");
+            shedOld.inc();
+        }
+    }
+    queue_.push_back(std::move(job));
+    ++stats_.admitted;
+    stats_.maxDepth = std::max(stats_.maxDepth,
+                               static_cast<int64_t>(queue_.size()));
+    static auto &admitted = metrics::counter("service.admit.admitted");
+    admitted.inc();
+    if (span.active()) {
+        span.arg("outcome", "admitted");
+        span.arg("depth", static_cast<int64_t>(queue_.size()));
+    }
+    lock.unlock();
+    cvItems_.notify_one();
+    return PushResult::Admitted;
+}
+
+bool
+AdmissionQueue::pop(ServerJob &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvItems_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return false; // closed and drained
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    cvSpace_.notify_one();
+    return true;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cvSpace_.notify_all();
+    cvItems_.notify_all();
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+AdmissionQueue::Stats
+AdmissionQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace service
+} // namespace ll

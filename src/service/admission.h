@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounded admission queue with load shedding for the server loop.
+ *
+ * An open-loop arrival process does not slow down because the workers
+ * are busy — overload has to be absorbed by policy, not by luck. The
+ * queue holds at most `capacity` jobs and applies one of three
+ * policies when full:
+ *
+ *   Block      — the producer waits for space (degrades the arrival
+ *                process to closed-loop; useful as a baseline, not a
+ *                serving posture);
+ *   ShedNewest — the offered job is refused (classic tail drop);
+ *   ShedOldest — the offered job is admitted and the oldest queued job
+ *                is shed (the head has waited longest and is the most
+ *                likely to blow its deadline anyway).
+ *
+ * Every outcome is definite: a pushed job is either admitted (and will
+ * be popped exactly once) or comes back shed — to the producer for
+ * newest-shed, via the `shed` out-list for oldest-shed — so the server
+ * can record a terminal outcome for it. close() drains: producers get
+ * shed, consumers keep popping until the queue is empty, then pop()
+ * returns false.
+ *
+ * Failpoint: "svc.admit" sheds the offered job regardless of capacity
+ * (admission-control fault drill). Metrics:
+ * service.admit.{admitted,shed_newest,shed_oldest,failpoint_shed}.
+ * Spans: "service.admit" (cat "service") with policy/depth/outcome
+ * args on every push.
+ */
+
+#ifndef LL_SERVICE_ADMISSION_H
+#define LL_SERVICE_ADMISSION_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ll {
+namespace service {
+
+struct CompileRequest;
+struct CompileResponse;
+
+enum class AdmissionPolicy
+{
+    Block,
+    ShedNewest,
+    ShedOldest,
+};
+
+std::string toString(AdmissionPolicy policy);
+std::optional<AdmissionPolicy>
+parseAdmissionPolicy(const std::string &s);
+
+/** One queued unit of server work. The response slot is preallocated
+ *  by the producer and written by exactly one thread. */
+struct ServerJob
+{
+    const CompileRequest *request = nullptr;
+    CompileResponse *response = nullptr;
+    std::chrono::steady_clock::time_point arrival{};
+    /** time_point::max() = no deadline. */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    uint64_t seq = 0;
+};
+
+class AdmissionQueue
+{
+  public:
+    struct Config
+    {
+        size_t capacity = 64;
+        AdmissionPolicy policy = AdmissionPolicy::ShedOldest;
+    };
+
+    explicit AdmissionQueue(Config config);
+    AdmissionQueue(const AdmissionQueue &) = delete;
+    AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+    enum class PushResult
+    {
+        Admitted,
+        Shed,
+    };
+
+    /**
+     * Offer a job. Returns Admitted when the job entered the queue
+     * (ShedOldest may have appended evicted older jobs to `shed`), or
+     * Shed when the job itself was refused — queue full under
+     * ShedNewest, queue closed, or the svc.admit failpoint fired.
+     */
+    PushResult push(ServerJob job, std::vector<ServerJob> &shed);
+
+    /** Block until a job is available or the queue is closed *and*
+     *  drained; false means no more jobs will ever come. */
+    bool pop(ServerJob &out);
+
+    /** Stop admitting; wakes blocked producers (their pushes shed) and
+     *  lets consumers drain what is already queued. */
+    void close();
+
+    size_t depth() const;
+
+    struct Stats
+    {
+        int64_t admitted = 0;
+        int64_t shedNewest = 0;
+        int64_t shedOldest = 0;
+        int64_t shedFailpoint = 0;
+        int64_t shedClosed = 0;
+        /** High-water mark of the queue depth. */
+        int64_t maxDepth = 0;
+
+        int64_t shedTotal() const
+        {
+            return shedNewest + shedOldest + shedFailpoint + shedClosed;
+        }
+    };
+    Stats stats() const;
+
+  private:
+    const Config config_;
+    mutable std::mutex mu_;
+    std::condition_variable cvSpace_; // producers under Block
+    std::condition_variable cvItems_; // consumers
+    std::deque<ServerJob> queue_;
+    bool closed_ = false;
+    Stats stats_;
+};
+
+} // namespace service
+} // namespace ll
+
+#endif // LL_SERVICE_ADMISSION_H

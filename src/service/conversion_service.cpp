@@ -30,6 +30,18 @@ serveConversion(PlanCache *cache, const LinearLayout &src,
         }
     }
 
+    return planAndPublish(cache, key ? &*key : nullptr, src, dst,
+                          elemBytes, spec);
+}
+
+ConversionOutcome
+planAndPublish(PlanCache *cache, const PlanKey *key,
+               const LinearLayout &src, const LinearLayout &dst,
+               int elemBytes, const sim::GpuSpec &spec)
+{
+    trace::Span span("service.conversion.plan", "service");
+    ConversionOutcome out;
+
     auto planned = [&]() -> Result<codegen::ConversionPlan> {
         try {
             return codegen::tryPlanConversion(src, dst, elemBytes, spec);

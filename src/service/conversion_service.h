@@ -52,6 +52,19 @@ ConversionOutcome serveConversion(PlanCache *cache,
                                   const LinearLayout &dst, int elemBytes,
                                   const sim::GpuSpec &spec);
 
+/**
+ * The post-lookup half of serveConversion: plan, smoke-execute, publish
+ * to `cache` under `key` (both may be null — the --no-cache path). The
+ * caller has already taken the cache miss; this never performs (or
+ * counts) a lookup. The singleflight leader calls this after its
+ * stat-free peek() double-check so each request records exactly one
+ * cache lookup no matter how the flight resolves.
+ */
+ConversionOutcome planAndPublish(PlanCache *cache, const PlanKey *key,
+                                 const LinearLayout &src,
+                                 const LinearLayout &dst, int elemBytes,
+                                 const sim::GpuSpec &spec);
+
 } // namespace service
 } // namespace ll
 

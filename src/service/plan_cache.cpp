@@ -10,13 +10,15 @@ namespace service {
 
 namespace {
 
-/** True when any diagnostic note records an injected failpoint: the
- *  plan's shape was forced by fault injection, not by the inputs. */
+/** True when any diagnostic note records an injected failpoint or a
+ *  deadline demotion: the plan's shape was forced by fault injection or
+ *  by load, not by the inputs, so it must not be shared. */
 bool
 planWasFaultShaped(const codegen::ConversionPlan &plan)
 {
     for (const auto &note : plan.diagnostics.notes) {
-        if (note.code == DiagCode::FailpointInjected)
+        if (note.code == DiagCode::FailpointInjected ||
+            note.code == DiagCode::DeadlineExceeded)
             return true;
     }
     return false;
@@ -40,6 +42,12 @@ PlanCache::PlanCache(Config config)
 
 PlanCache::Shard &
 PlanCache::shardFor(const PlanKey &key)
+{
+    return *shards_[PlanKeyHash{}(key) % shards_.size()];
+}
+
+const PlanCache::Shard &
+PlanCache::shardFor(const PlanKey &key) const
 {
     return *shards_[PlanKeyHash{}(key) % shards_.size()];
 }
@@ -97,6 +105,23 @@ PlanCache::lookup(const PlanKey &key)
     }
     // Refresh recency.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return entry.value;
+}
+
+std::optional<CachedPlan>
+PlanCache::peek(const PlanKey &key) const
+{
+    const Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end())
+        return std::nullopt;
+    const Entry &entry = *it->second;
+    // An expired negative reads as a miss: a rejection past its TTL
+    // must never suppress fresh planning (lookup() reaps it later).
+    if (entry.value.negative() && negativeTtl_ > 0 &&
+        shard.lookupGen - entry.insertGen > negativeTtl_)
+        return std::nullopt;
     return entry.value;
 }
 

@@ -150,6 +150,18 @@ class PlanCache
     std::optional<CachedPlan> lookup(const PlanKey &key);
 
     /**
+     * Stat-free, LRU-neutral read: no counters move, the lookup
+     * generation does not advance, and recency is untouched. A negative
+     * entry whose TTL has already run out reads as a miss (it is left
+     * in place for the next lookup() to reap), so an expired rejection
+     * can never suppress fresh planning. This is the singleflight
+     * leader's double-check between losing the lookup() race and
+     * planning: a racing leader's freshly inserted plan is found
+     * without double-counting the request's one recorded lookup.
+     */
+    std::optional<CachedPlan> peek(const PlanKey &key) const;
+
+    /**
      * Store a successfully smoke-executed plan. Returns false (and
      * stores nothing) when the failpoint policy refuses — see the file
      * comment. Overwrites any negative entry under the same key.
@@ -197,6 +209,7 @@ class PlanCache
     };
 
     Shard &shardFor(const PlanKey &key);
+    const Shard &shardFor(const PlanKey &key) const;
     bool insertEntry(const PlanKey &key, CachedPlan value, bool negative);
 
     LayoutInterner *interner_;

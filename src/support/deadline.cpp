@@ -1,0 +1,76 @@
+#include "support/deadline.h"
+
+namespace ll {
+namespace deadline {
+
+namespace {
+
+struct ThreadDeadline
+{
+    Clock::time_point at = Clock::time_point::max();
+    bool installed = false;
+};
+
+ThreadDeadline &
+slot()
+{
+    thread_local ThreadDeadline td;
+    return td;
+}
+
+} // namespace
+
+bool
+active()
+{
+    return slot().installed;
+}
+
+bool
+expired()
+{
+    const ThreadDeadline &td = slot();
+    if (!td.installed)
+        return false;
+    return Clock::now() >= td.at;
+}
+
+double
+remainingUs()
+{
+    const ThreadDeadline &td = slot();
+    if (!td.installed)
+        return 1e18;
+    return std::chrono::duration<double, std::micro>(td.at -
+                                                     Clock::now())
+        .count();
+}
+
+Clock::time_point
+current()
+{
+    const ThreadDeadline &td = slot();
+    return td.installed ? td.at : Clock::time_point::max();
+}
+
+Scoped::Scoped(Clock::time_point deadline)
+{
+    ThreadDeadline &td = slot();
+    previous_ = td.at;
+    hadPrevious_ = td.installed;
+    // The earlier deadline stays effective: an inner scope can only
+    // tighten the budget, never extend it.
+    if (!td.installed || deadline < td.at)
+        td.at = deadline;
+    td.installed = true;
+}
+
+Scoped::~Scoped()
+{
+    ThreadDeadline &td = slot();
+    td.at = previous_;
+    td.installed = hadPrevious_;
+}
+
+} // namespace deadline
+} // namespace ll

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cooperative per-request deadlines for the serving path.
+ *
+ * A compilation service that admits work under load needs every stage
+ * below it to stop occupying a worker once the request's deadline has
+ * passed. Preemption is off the table — the planner is a library, not a
+ * process — so cancellation is cooperative: the service installs the
+ * request's deadline for the worker thread with a `deadline::Scoped`,
+ * and long-running stages poll `deadline::expired()` at their natural
+ * checkpoints (the planner checks at fallback-ladder rung boundaries
+ * and demotes to the terminal scalar rung instead of sweeping the
+ * expensive shared-memory candidates; see codegen/conversion.cpp).
+ *
+ * The token is thread-local, so a worker's deadline never leaks into
+ * concurrently planning requests, and scopes nest (an inner, tighter
+ * deadline wins while it lives; the outer one is restored on exit).
+ * When no deadline is installed every query is a single thread-local
+ * load — the planner pays nothing on the non-serving paths.
+ *
+ * Plans whose shape was bent by an expired deadline carry a
+ * DiagCode::DeadlineExceeded note, which the plan cache treats exactly
+ * like a failpoint-shaped plan: never cached (the demotion reflects
+ * load, not the inputs).
+ */
+
+#ifndef LL_SUPPORT_DEADLINE_H
+#define LL_SUPPORT_DEADLINE_H
+
+#include <chrono>
+
+namespace ll {
+namespace deadline {
+
+using Clock = std::chrono::steady_clock;
+
+/** True when the calling thread has a deadline installed. */
+bool active();
+
+/** True when the calling thread's deadline has passed. Always false
+ *  when none is installed. */
+bool expired();
+
+/** Microseconds until the calling thread's deadline; a large positive
+ *  sentinel (> 1e15) when none is installed, <= 0 once expired. */
+double remainingUs();
+
+/** The installed deadline; Clock::time_point::max() when none. */
+Clock::time_point current();
+
+/**
+ * RAII installation of a deadline for the calling thread. Nesting
+ * keeps the *earlier* of the two deadlines effective — an outer
+ * request budget cannot be extended by an inner scope.
+ */
+class Scoped
+{
+  public:
+    explicit Scoped(Clock::time_point deadline);
+    ~Scoped();
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+
+  private:
+    Clock::time_point previous_;
+    bool hadPrevious_;
+};
+
+} // namespace deadline
+} // namespace ll
+
+#endif // LL_SUPPORT_DEADLINE_H

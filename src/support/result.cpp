@@ -28,6 +28,8 @@ toString(DiagCode code)
         return "cta-budget-exceeded";
       case DiagCode::FailpointInjected:
         return "failpoint-injected";
+      case DiagCode::DeadlineExceeded:
+        return "deadline-exceeded";
       case DiagCode::ExecutionFailed:
         return "execution-failed";
       case DiagCode::PlannerInternalError:

@@ -36,6 +36,7 @@ enum class DiagCode
     ScalarUnavailable,       ///< scalar shared rung failed (terminal)
     CtaBudgetExceeded,       ///< allocation exceeds the CTA shared budget
     FailpointInjected,       ///< a failpoint forced this stage off
+    DeadlineExceeded,        ///< the request's deadline cut this stage off
     ExecutionFailed,         ///< a built plan failed while executing
     PlannerInternalError,    ///< unexpected exception inside a stage
 };

@@ -32,6 +32,7 @@
 #include "service/conversion_service.h"
 #include "service/interner.h"
 #include "service/plan_cache.h"
+#include "service/singleflight.h"
 #include "support/failpoint.h"
 
 namespace ll {
@@ -241,6 +242,73 @@ TEST_F(PlanCacheTest, NegativeEntriesExpireAfterTtlLookups)
     EXPECT_FALSE(noNeg.insertRejection(
         noNeg.key(regLayout(2), regLayout(4), 4, spec),
         makeDiag(DiagCode::InvalidInput, "t", "bad")));
+}
+
+TEST_F(PlanCacheTest, PeekIsStatFreeAndTreatsExpiredNegativesAsMisses)
+{
+    service::PlanCache::Config config;
+    config.shards = 1;
+    config.negativeTtlLookups = 2;
+    service::PlanCache cache(config);
+    const auto spec = sim::GpuSpec::gh200();
+    auto key = cache.key(regLayout(2), regLayout(4), 4, spec);
+    auto other = cache.key(regLayout(8), regLayout(8), 4, spec);
+
+    ASSERT_TRUE(cache.insertRejection(
+        key, makeDiag(DiagCode::InvalidInput, "t", "bad")));
+    const auto before = cache.stats();
+    auto fresh = cache.peek(key);
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_TRUE(fresh->negative());
+    // peek moved no counters and advanced no lookup generation.
+    EXPECT_EQ(cache.stats().lookups(), before.lookups());
+    EXPECT_EQ(cache.stats().negativeHits, before.negativeHits);
+
+    // Age the shard past the TTL; the entry is left in place (peek
+    // never reaps) but must read as a miss.
+    for (int i = 0; i < 3; ++i)
+        (void)cache.lookup(other);
+    EXPECT_FALSE(cache.peek(key).has_value());
+    EXPECT_EQ(cache.stats().negativeExpired, 0); // reaping is lookup's
+}
+
+TEST_F(ServiceTest, NegativeEntryExpiringMidFlightDoesNotSuppressPlan)
+{
+    // The PR-6 TTL edge: a negative entry that expires while a
+    // singleflight leader holds the flight must not make the leader's
+    // double-check peek() serve the stale rejection — the leader must
+    // plan fresh and publish.
+    service::PlanCache::Config config;
+    config.shards = 1;
+    config.negativeTtlLookups = 2;
+    service::PlanCache cache(config);
+    const auto spec = sim::GpuSpec::gh200();
+    const auto src = regLayout(8);
+    const auto dst = regLayout(8); // valid conversion (no-op plan)
+    const auto key = cache.key(src, dst, 4, spec);
+    const auto other = cache.key(regLayout(16), regLayout(16), 4, spec);
+
+    service::Singleflight flights;
+    auto result = flights.run(key, [&]() {
+        // While the flight is open: a (fabricated) stale rejection
+        // lands under our key, then ages past its TTL.
+        EXPECT_TRUE(cache.insertRejection(
+            key, makeDiag(DiagCode::InvalidInput, "t", "stale")));
+        for (int i = 0; i < 3; ++i)
+            (void)cache.lookup(other);
+        // The leader's double-check must read the expired negative as
+        // a miss and fall through to fresh planning.
+        EXPECT_FALSE(cache.peek(key).has_value());
+        return service::planAndPublish(&cache, &key, src, dst, 4,
+                                       spec);
+    });
+    ASSERT_TRUE(result.outcome.planned()) << result.outcome.error;
+    EXPECT_FALSE(result.outcome.fromCache);
+
+    // The fresh plan displaced the expired rejection.
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->negative());
 }
 
 TEST_F(PlanCacheTest, PositiveEntryIsNeverDisplacedByARejection)

@@ -69,6 +69,9 @@
 #include "codegen/conversion.h"
 #include "codegen/gather.h"
 #include "codegen/swizzle.h"
+#include "service/admission.h"
+#include "service/compile_service.h"
+#include "service/singleflight.h"
 #include "support/failpoint.h"
 #include "support/refmode.h"
 
@@ -337,6 +340,135 @@ runGatherProbe(const std::string &site)
     return true;
 }
 
+/**
+ * Force one svc.* site against a deterministic single-conversion
+ * service drill, then rerun clean: the forced run must resolve through
+ * the site's degraded-but-definite outcome (shed, failed leader,
+ * deadline-exceeded, burned retry) and the clean run must plan.
+ */
+bool
+runServiceProbe(const std::string &site)
+{
+    auto spec = sim::GpuSpec::gh200();
+    auto src = coverageBlocked({1, 4}, {8, 4}, {2, 2}, {1, 0}, {16, 64});
+    auto dst = coverageBlocked({4, 1}, {2, 16}, {2, 2}, {1, 0}, {16, 64});
+
+    if (site == "svc.admit") {
+        service::AdmissionQueue queue(
+            {2, service::AdmissionPolicy::ShedNewest});
+        std::vector<service::ServerJob> shed;
+        failpoint::activate(site, 1);
+        const auto forced = queue.push(service::ServerJob{}, shed);
+        failpoint::deactivate(site);
+        if (forced != service::AdmissionQueue::PushResult::Shed) {
+            std::cerr << "forced svc.admit did not shed\n";
+            return false;
+        }
+        if (queue.stats().shedFailpoint != 1) {
+            std::cerr << "svc.admit shed not attributed to the "
+                         "failpoint\n";
+            return false;
+        }
+        const auto clean = queue.push(service::ServerJob{}, shed);
+        service::ServerJob out;
+        if (clean != service::AdmissionQueue::PushResult::Admitted ||
+            !queue.pop(out)) {
+            std::cerr << "clean admission probe failed\n";
+            return false;
+        }
+        queue.close();
+        return true;
+    }
+
+    if (site == "svc.singleflight.leader") {
+        service::PlanCache cache{service::PlanCache::Config{}};
+        service::Singleflight flights;
+        failpoint::activate(site, 1);
+        const auto forced = service::serveConversionCoalesced(
+            &cache, &flights, src, dst, 2, spec);
+        failpoint::deactivate(site);
+        if (forced.outcome.planned() || forced.outcome.error.empty()) {
+            std::cerr << "forced svc.singleflight.leader did not fail "
+                         "the leader\n";
+            return false;
+        }
+        if (cache.size() != 0) {
+            std::cerr << "leader failpoint failure was cached\n";
+            return false;
+        }
+        const auto clean = service::serveConversionCoalesced(
+            &cache, &flights, src, dst, 2, spec);
+        if (!clean.outcome.planned()) {
+            std::cerr << "clean singleflight probe failed: "
+                      << clean.outcome.error << "\n";
+            return false;
+        }
+        return true;
+    }
+
+    // Server-loop sites: a one-arrival serve() through CompileService.
+    auto conv = std::make_shared<service::ConversionRequest>();
+    conv->src = src;
+    conv->dst = dst;
+    conv->elemBytes = 2;
+    conv->spec = spec;
+    service::CompileRequest req;
+    req.name = "svc.probe";
+    req.conversion = std::move(conv);
+    const std::vector<service::CompileRequest> stream{req};
+
+    service::PlanCache cache{service::PlanCache::Config{}};
+    service::CompileService::Options so;
+    so.threads = 1;
+    so.cache = &cache;
+    service::CompileService svc{so};
+    service::CompileService::ServerConfig cfg;
+    cfg.ratePerSec = 1e5;
+    cfg.durationSec = 0.01;
+    cfg.maxRequests = 1;
+    cfg.seed = 7;
+
+    if (site == "svc.queue.timeout") {
+        failpoint::activate(site, 1);
+        const auto forced = svc.serve(stream, cfg);
+        failpoint::deactivate(site);
+        if (forced.deadlineExceeded != 1) {
+            std::cerr << "forced svc.queue.timeout did not expire the "
+                         "queued request\n";
+            return false;
+        }
+        const auto clean = svc.serve(stream, cfg);
+        if (clean.planned != 1) {
+            std::cerr << "clean queue-timeout probe failed\n";
+            return false;
+        }
+        return true;
+    }
+
+    if (site == "svc.retry") {
+        cfg.retryBudget = 2;
+        cfg.retryBackoffMs = 0.1;
+        // Transient first attempt (failed leader), a burned first
+        // retry (svc.retry), then the second retry plans clean.
+        failpoint::activate("svc.singleflight.leader", 1);
+        failpoint::activate("svc.retry", 1);
+        const auto forced = svc.serve(stream, cfg);
+        failpoint::deactivate("svc.singleflight.leader");
+        failpoint::deactivate("svc.retry");
+        if (forced.planned != 1 || forced.retries != 2) {
+            std::cerr << "forced svc.retry drill wanted planned after "
+                         "2 retries, saw planned="
+                      << forced.planned
+                      << " retries=" << forced.retries << "\n";
+            return false;
+        }
+        return true;
+    }
+
+    std::cerr << "no probe for service site " << site << "\n";
+    return false;
+}
+
 int
 runFailpointCoverage(const Options &opt)
 {
@@ -348,6 +480,8 @@ runFailpointCoverage(const Options &opt)
     auto pool = codegen::plannerFailpointSites();
     auto execSites = codegen::executionFailpointSites();
     pool.insert(pool.end(), execSites.begin(), execSites.end());
+    auto svcSites = service::serviceFailpointSites();
+    pool.insert(pool.end(), svcSites.begin(), svcSites.end());
 
     // Deterministic probes whose plans reach each executor family: the
     // forced exec site is then guaranteed to be evaluated (and fire).
@@ -378,7 +512,10 @@ runFailpointCoverage(const Options &opt)
         if (opt.verbose)
             std::cout << "[" << iter << "] forcing " << site << "\n";
 
-        if (startsWith(site, "exec.gather.")) {
+        if (startsWith(site, "svc.")) {
+            if (!runServiceProbe(site))
+                return 1;
+        } else if (startsWith(site, "exec.gather.")) {
             if (!runGatherProbe(site))
                 return 1;
         } else if (startsWith(site, "exec.")) {

@@ -1,0 +1,70 @@
+# Overload drill for the compilation server, in two phases.
+#
+# Phase 1 — cold-miss coalescing: replay the shuffled seed corpus cold
+# on 8 threads and demand zero duplicate planner runs (singleflight
+# must coalesce every concurrent miss on a key into one plan).
+#
+# Phase 2 — load shedding under 2x saturation: calibrate the machine's
+# closed-loop saturation throughput (with a 1 ms per-request service
+# floor so the saturation point is controllable on any host, including
+# sanitizer builds), then offer a Poisson stream at twice that rate for
+# one second. The run must terminate, shed deterministically (at least
+# one shed under the fixed seed), and keep the admitted p99 within the
+# SLO — that is the whole point of shedding.
+#
+# Both phases must emit a BENCH_service.json that llstat
+# --validate-bench-json accepts, including the terminal-outcome split
+# it requires of "service" reports.
+#
+# Script arguments (via -D):
+#   LLSERVE     path to the llserve binary
+#   LLSTAT      path to the llstat binary
+#   CORPUS_DIR  seed corpus directory
+#   OUT_DIR     scratch dir for the emitted reports
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/cold")
+file(MAKE_DIRECTORY "${OUT_DIR}/overload")
+
+# Phase 1: cold shuffled batch at 8 threads -> zero duplicate plans.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "LL_BENCH_JSON_DIR=${OUT_DIR}/cold"
+            "${LLSERVE}" --corpus "${CORPUS_DIR}"
+            --threads 8 --repeat 2 --shuffle --seed 42
+            --expect-no-duplicate-plans
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cold coalescing phase exited with ${rc}")
+endif()
+execute_process(
+    COMMAND "${LLSTAT}" --validate-bench-json "${OUT_DIR}/cold"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cold-phase BENCH_service.json failed schema "
+                        "validation")
+endif()
+
+# Phase 2: open-loop Poisson at 2x the calibrated saturation for 1 s.
+# shed-oldest + a 64-deep queue bounds the queueing delay admitted
+# requests can accumulate, so the 250 ms p99 SLO must hold by shedding.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "LL_BENCH_JSON_DIR=${OUT_DIR}/overload"
+            "${LLSERVE}" --corpus "${CORPUS_DIR}"
+            --threads 4 --seed 42
+            --rate-x-saturation 2 --duration 1
+            --service-floor-us 1000
+            --policy shed-oldest --queue-capacity 64
+            --slo-p99-ms 250
+            --expect-sheds 1 --expect-slo
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "overload phase exited with ${rc}")
+endif()
+execute_process(
+    COMMAND "${LLSTAT}" --validate-bench-json "${OUT_DIR}/overload"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "overload-phase BENCH_service.json failed "
+                        "schema validation")
+endif()

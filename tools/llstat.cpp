@@ -366,6 +366,40 @@ validateBenchReport(const std::string &path, const jsonlite::Value &v,
             return false;
         }
     }
+    if (name->str == "service") {
+        // A service report must carry the terminal-outcome split —
+        // a folded failure count hides sheds and deadline misses.
+        double split[4] = {0, 0, 0, 0};
+        const char *fields[4] = {
+            "service.stream.planned", "service.stream.shed",
+            "service.stream.deadline_exceeded",
+            "service.stream.failed"};
+        for (int i = 0; i < 4; ++i) {
+            const auto *x = metrics->find(fields[i]);
+            if (!x || !x->isNumber() || x->number < 0.0) {
+                why = std::string("service report lacks \"") +
+                      fields[i] + "\" (terminal-outcome split)";
+                return false;
+            }
+            split[i] = x->number;
+        }
+        const auto *requests = metrics->find("service.stream.requests");
+        if (!requests || !requests->isNumber()) {
+            why = "service report lacks \"service.stream.requests\"";
+            return false;
+        }
+        const double sum =
+            split[0] + split[1] + split[2] + split[3];
+        if (sum != requests->number) {
+            why = "service outcome split does not sum to requests (" +
+                  std::to_string(sum) + " vs " +
+                  std::to_string(requests->number) + ")";
+            return false;
+        }
+        std::cout << "llstat: service outcomes: planned " << split[0]
+                  << ", shed " << split[1] << ", deadline-exceeded "
+                  << split[2] << ", failed " << split[3] << "\n";
+    }
     return true;
 }
 
