@@ -22,8 +22,10 @@ foreach(name IN LISTS _names)
     if(NOT rc EQUAL 0)
         message(FATAL_ERROR "${name} exited with ${rc}")
     endif()
-    if(NOT EXISTS "${OUT_DIR}/BENCH_${name}.json")
-        message(FATAL_ERROR "${name} did not emit BENCH_${name}.json")
+    # Binaries named bench_<x> report as BENCH_<x>.json.
+    string(REGEX REPLACE "^bench_" "" _json "${name}")
+    if(NOT EXISTS "${OUT_DIR}/BENCH_${_json}.json")
+        message(FATAL_ERROR "${name} did not emit BENCH_${_json}.json")
     endif()
 endforeach()
 

@@ -1,0 +1,336 @@
+#include "cute/admit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/diagnostics.h"
+#include "triton/encodings.h"
+
+namespace ll {
+namespace cute {
+
+namespace {
+
+/** Brute-force injectivity up to this many elements; prove beyond. */
+constexpr int64_t kInjectivityBruteLimit = int64_t(1) << 22;
+
+int64_t
+floorPow2(int64_t v)
+{
+    int64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+bool
+isPow2(int64_t v)
+{
+    return v >= 1 && (v & (v - 1)) == 0;
+}
+
+/** Extents and strides with size-1 modes dropped. */
+void
+droppedModes(const CuteLayout &layout, std::vector<int64_t> &shape,
+             std::vector<int64_t> &stride)
+{
+    shape.clear();
+    stride.clear();
+    for (size_t i = 0; i < layout.flatShape().size(); ++i) {
+        if (layout.flatShape()[i] == 1)
+            continue;
+        shape.push_back(layout.flatShape()[i]);
+        stride.push_back(layout.flatStride()[i]);
+    }
+}
+
+/**
+ * Is `layout` injective on its domain? Exact by enumeration for small
+ * domains; for large ones the sorted-stride tiling criterion (each
+ * stride at least the reach of the smaller-stride modes) proves
+ * injectivity, and requests it cannot prove are rejected rather than
+ * admitted on faith.
+ */
+enum class Injectivity
+{
+    Yes,
+    No,
+    Unprovable
+};
+
+Injectivity
+checkInjective(const CuteLayout &layout)
+{
+    std::vector<int64_t> shape, stride;
+    droppedModes(layout, shape, stride);
+    if (layout.size() <= kInjectivityBruteLimit) {
+        std::vector<int64_t> offsets;
+        offsets.reserve(static_cast<size_t>(layout.size()));
+        for (int64_t i = 0; i < layout.size(); ++i)
+            offsets.push_back(layout(i));
+        std::sort(offsets.begin(), offsets.end());
+        for (size_t i = 1; i < offsets.size(); ++i) {
+            if (offsets[i] == offsets[i - 1])
+                return Injectivity::No;
+        }
+        return Injectivity::Yes;
+    }
+    std::vector<std::pair<int64_t, int64_t>> modes; // (stride, extent)
+    for (size_t i = 0; i < shape.size(); ++i)
+        modes.emplace_back(stride[i], shape[i]);
+    std::sort(modes.begin(), modes.end());
+    int64_t reach = 0; // largest offset reachable from smaller strides
+    for (const auto &[d, s] : modes) {
+        if (d == 0)
+            return Injectivity::No;
+        if (d <= reach)
+            return Injectivity::Unprovable;
+        reach += (s - 1) * d;
+    }
+    return Injectivity::Yes;
+}
+
+/** Minor-to-major logical-dim order: smallest stride first. */
+std::vector<int32_t>
+strideOrder(const std::vector<int64_t> &stride)
+{
+    std::vector<int32_t> order(stride.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int32_t a, int32_t b) {
+                         return stride[a] < stride[b];
+                     });
+    return order;
+}
+
+/** Malformed-request screen shared by both entry points. */
+Result<std::vector<int64_t>>
+validateRequest(const CuteConversionRequest &req)
+{
+    if (req.elemBytes != 1 && req.elemBytes != 2 && req.elemBytes != 4 &&
+        req.elemBytes != 8) {
+        return makeDiag(DiagCode::InvalidInput, "cute.admit",
+                        "unsupported element size " +
+                            std::to_string(req.elemBytes));
+    }
+    if (req.numWarps < 1 || !isPow2(req.numWarps)) {
+        return makeDiag(DiagCode::InvalidInput, "cute.admit",
+                        "numWarps must be a positive power of two, got " +
+                            std::to_string(req.numWarps));
+    }
+    std::vector<int64_t> srcShape, srcStride, dstShape, dstStride;
+    droppedModes(req.src, srcShape, srcStride);
+    droppedModes(req.dst, dstShape, dstStride);
+    if (srcShape != dstShape) {
+        return makeDiag(DiagCode::InvalidInput, "cute.admit",
+                        "src " + req.src.toString() + " and dst " +
+                            req.dst.toString() +
+                            " do not share a logical shape");
+    }
+    switch (checkInjective(req.dst)) {
+      case Injectivity::No:
+        return makeDiag(DiagCode::InvalidInput, "cute.admit",
+                        "dst " + req.dst.toString() +
+                            " aliases storage (non-injective)");
+      case Injectivity::Unprovable:
+        return makeDiag(DiagCode::InvalidInput, "cute.admit",
+                        "dst " + req.dst.toString() +
+                            " injectivity unprovable at this size");
+      case Injectivity::Yes:
+        break;
+    }
+    if (srcShape.empty())
+        srcShape.push_back(1);
+    return srcShape;
+}
+
+/**
+ * Factor the request: core box plus blocked anchors on each side,
+ * minor-to-major order following that side's storage strides. Does
+ * not plan the core conversion itself.
+ */
+Result<CutePlan>
+decomposeValidated(const CuteConversionRequest &req,
+                   const sim::GpuSpec &spec,
+                   std::vector<int64_t> logicalShape)
+{
+    CutePlan plan;
+    plan.logicalShape = std::move(logicalShape);
+    plan.coreShape.reserve(plan.logicalShape.size());
+    plan.coreElems = 1;
+    for (int64_t e : plan.logicalShape) {
+        plan.coreShape.push_back(floorPow2(e));
+        plan.coreElems *= plan.coreShape.back();
+    }
+    int64_t total = 1;
+    for (int64_t e : plan.logicalShape)
+        total *= e;
+    plan.remainderElems = total - plan.coreElems;
+    if (plan.remainderElems > 0) {
+        plan.diagnostics.note(
+            DiagCode::NonPow2Bridgeable, "cute.admit",
+            "non-pow2 logical shape: core box of " +
+                std::to_string(plan.coreElems) +
+                " elements planned through the ladder, " +
+                std::to_string(plan.remainderElems) +
+                " remainder elements on the scalar window path");
+    }
+    if (plan.coreElems == 1)
+        return plan; // nothing to plan: all-scalar (or one element)
+
+    std::vector<int64_t> srcShape, srcStride, dstShape, dstStride;
+    droppedModes(req.src, srcShape, srcStride);
+    droppedModes(req.dst, dstShape, dstStride);
+    triton::Shape shape32;
+    for (int64_t e : plan.coreShape)
+        shape32.push_back(static_cast<int32_t>(e));
+    int vec = std::max(1, 16 / req.elemBytes);
+    auto srcEnc = triton::BlockedEncoding::makeDefaultWithOrder(
+        shape32, strideOrder(srcStride), req.numWarps, spec.warpSize,
+        vec);
+    auto dstEnc = triton::BlockedEncoding::makeDefaultWithOrder(
+        shape32, strideOrder(dstStride), req.numWarps, spec.warpSize,
+        vec);
+    plan.coreSrc = srcEnc.toLinearLayout(shape32);
+    plan.coreDst = dstEnc.toLinearLayout(shape32);
+    return plan;
+}
+
+Result<CutePlan>
+planCore(const CuteConversionRequest &req, const sim::GpuSpec &spec,
+         std::vector<int64_t> logicalShape)
+{
+    auto plan = decomposeValidated(req, spec, std::move(logicalShape));
+    if (!plan || !plan->needsCorePlan())
+        return plan;
+    auto core = codegen::tryPlanConversion(plan->coreSrc, plan->coreDst,
+                                           req.elemBytes, spec);
+    if (!core)
+        return core.diag();
+    plan->corePlan = std::move(*core);
+    plan->hasCorePlan = true;
+    return plan;
+}
+
+} // namespace
+
+Result<CutePlan>
+decomposeCuteConversion(const CuteConversionRequest &req,
+                        const sim::GpuSpec &spec)
+{
+    auto logical = validateRequest(req);
+    if (!logical)
+        return logical.diag();
+    return decomposeValidated(req, spec, std::move(*logical));
+}
+
+std::string
+CutePlan::describe() const
+{
+    std::ostringstream os;
+    auto tuple = [&os](const std::vector<int64_t> &v) {
+        os << "(";
+        for (size_t i = 0; i < v.size(); ++i)
+            os << (i ? "," : "") << v[i];
+        os << ")";
+    };
+    os << "cute-plan logical=";
+    tuple(logicalShape);
+    os << " core=";
+    tuple(coreShape);
+    os << " coreElems=" << coreElems << " remainder=" << remainderElems
+       << " window=" << scalarWindow << "\n";
+    if (hasCorePlan) {
+        os << "core-src: " << coreSrc.toString() << "\n";
+        os << "core-dst: " << coreDst.toString() << "\n";
+        os << codegen::describePlan(corePlan);
+    } else {
+        os << "core: none (single-element box)\n";
+    }
+    if (!diagnostics.empty())
+        os << "cute-notes: " << diagnostics.toString() << "\n";
+    return os.str();
+}
+
+Result<CutePlan>
+tryBridgeConversion(const CuteConversionRequest &req,
+                    const sim::GpuSpec &spec)
+{
+    auto logical = validateRequest(req);
+    if (!logical)
+        return logical.diag();
+    for (int64_t e : *logical) {
+        if (!isPow2(e)) {
+            return makeDiag(
+                DiagCode::NonPow2Bridgeable, "cute.bridge",
+                "logical extent " + std::to_string(e) +
+                    " is not a power of two; the request is "
+                    "well-formed and admissible via "
+                    "tryPlanCuteConversion's decomposition path");
+        }
+    }
+    return planCore(req, spec, std::move(*logical));
+}
+
+Result<CutePlan>
+tryPlanCuteConversion(const CuteConversionRequest &req,
+                      const sim::GpuSpec &spec)
+{
+    auto bridged = tryBridgeConversion(req, spec);
+    if (bridged.ok() ||
+        bridged.diag().code != DiagCode::NonPow2Bridgeable)
+        return bridged;
+    // Well-formed but non-pow2: factor into core + scalar remainder.
+    auto logical = validateRequest(req);
+    llAssert(logical.ok(), "validation diverged between entries");
+    return planCore(req, spec, std::move(*logical));
+}
+
+CuteExecStats
+executeCutePlan(const CutePlan &plan, const CuteConversionRequest &req,
+                const std::vector<uint64_t> &srcBuf,
+                std::vector<uint64_t> &dstBuf)
+{
+    llUserCheck(static_cast<int64_t>(srcBuf.size()) >= req.src.cosize(),
+                "executeCutePlan: srcBuf smaller than src cosize "
+                    << req.src.cosize());
+    llUserCheck(static_cast<int64_t>(dstBuf.size()) >= req.dst.cosize(),
+                "executeCutePlan: dstBuf smaller than dst cosize "
+                    << req.dst.cosize());
+    CuteExecStats stats;
+    const int64_t n = req.src.size();
+    llAssert(n == req.dst.size(), "executeCutePlan: size mismatch");
+    // Odometer over the shared logical shape; core membership is
+    // coordinate-wise containment in the core box.
+    std::vector<int64_t> coord(plan.logicalShape.size(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+        bool inCore = true;
+        for (size_t k = 0; k < coord.size(); ++k) {
+            if (coord[k] >= plan.coreShape[k]) {
+                inCore = false;
+                break;
+            }
+        }
+        // Same data movement either way in this element-granular
+        // simulation; the distinction drives the accounting (and, for
+        // the core, the separately-audited distributed plan).
+        dstBuf[req.dst(i)] = srcBuf[req.src(i)];
+        if (inCore)
+            ++stats.coreElems;
+        else
+            ++stats.remainderElems;
+        for (size_t k = 0; k < coord.size(); ++k) {
+            if (++coord[k] < plan.logicalShape[k])
+                break;
+            coord[k] = 0;
+        }
+    }
+    stats.windows = (stats.remainderElems + plan.scalarWindow - 1) /
+                    plan.scalarWindow;
+    return stats;
+}
+
+} // namespace cute
+} // namespace ll

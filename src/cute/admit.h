@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Non-power-of-two admission: planning CuteLayout conversions.
+ *
+ * A CuteConversionRequest describes a storage relayout: src and dst
+ * both map the same logical flat index space [0, n) to storage
+ * offsets, and the conversion must establish
+ *
+ *     dstBuf[dst(i)] = srcBuf[src(i)]   for every logical i.
+ *
+ * When every logical extent is a power of two this is exactly the
+ * conversion problem the F2 planner already solves, and
+ * tryBridgeConversion() routes it there. When extents are *not*
+ * powers of two — 3x5x7 blocks, length-100 rows, 50257-entry vocab
+ * axes — the F2 world previously answered InvalidInput. The
+ * decomposition pass here factors such a request instead:
+ *
+ *  - a pow2 *core box* (each extent rounded down to a power of two)
+ *    is relayouted through the existing distributed planner: each
+ *    side gets a blocked anchor layout whose minor-to-major order is
+ *    that side's dims sorted by stride (so vectorization follows the
+ *    storage contiguity), and the full fallback ladder / plan cache /
+ *    service machinery applies to the core plan;
+ *  - the *remainder* (the L-shaped shell outside the box) is handled
+ *    by a windowed scalar path: bounded chunks of element-wise moves.
+ *
+ * Totality splits three ways at the entry points: malformed requests
+ * (mismatched logical shapes, aliasing dst, bad element size) fail
+ * with DiagCode::InvalidInput; well-formed non-pow2 requests fail the
+ * *strict* bridge entry with the stable DiagCode::NonPow2Bridgeable
+ * (telling the caller the decomposition path wants them); and
+ * tryPlanCuteConversion() is total over well-formed requests. The
+ * end-to-end semantic is audited by check::checkCutePlan against a
+ * brute-force tagged-buffer oracle.
+ */
+
+#ifndef LL_CUTE_ADMIT_H
+#define LL_CUTE_ADMIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/conversion.h"
+#include "cute/cute_layout.h"
+#include "layout/linear_layout.h"
+#include "sim/gpu_spec.h"
+#include "support/result.h"
+
+namespace ll {
+namespace cute {
+
+/** One storage relayout over a shared logical index space. */
+struct CuteConversionRequest
+{
+    /** Logical flat index -> source storage offset. */
+    CuteLayout src;
+    /** Logical flat index -> destination storage offset (injective). */
+    CuteLayout dst;
+    int elemBytes = 4;
+    /** Warps available to the core's distributed anchors. */
+    int numWarps = 4;
+};
+
+/** Elements per remainder window (bounds scalar-path working sets). */
+constexpr int64_t kCuteScalarWindow = 4096;
+
+struct CutePlan
+{
+    /** Shared logical extents (size-1 modes dropped; {1} if empty). */
+    std::vector<int64_t> logicalShape;
+    /** Per-extent floor-pow2 core box. */
+    std::vector<int64_t> coreShape;
+    int64_t coreElems = 1;
+    int64_t remainderElems = 0;
+    int64_t scalarWindow = kCuteScalarWindow;
+
+    /**
+     * The distributed anchors the core planned through
+     * (register/lane/warp over dim0..dimK of the core box) and the
+     * ladder plan between them. hasCorePlan is false only for
+     * degenerate one-element cores, where there is nothing to plan.
+     */
+    LinearLayout coreSrc, coreDst;
+    codegen::ConversionPlan corePlan;
+    bool hasCorePlan = false;
+
+    PlanDiagnostics diagnostics;
+
+    /** A core plan is required (box larger than one element). */
+    bool needsCorePlan() const { return coreElems > 1; }
+
+    /** Deterministic rendering (cute framing + core describePlan). */
+    std::string describe() const;
+};
+
+/**
+ * Validation + factoring only: the returned plan carries the logical
+ * shape, core box, and the core's distributed anchor layouts, but no
+ * core ConversionPlan (hasCorePlan stays false). This is the piece
+ * the service layer uses so it can route the core through the shared
+ * plan cache (interned coreSrc/coreDst keys) instead of planning
+ * fresh. Fails only with InvalidInput.
+ */
+Result<CutePlan> decomposeCuteConversion(const CuteConversionRequest &req,
+                                         const sim::GpuSpec &spec);
+
+/**
+ * Strict pow2 entry: plan the request through the F2 ladder only.
+ * Fails with InvalidInput for malformed requests and with
+ * NonPow2Bridgeable for well-formed requests whose logical shape has
+ * a non-pow2 extent (the caller should use tryPlanCuteConversion).
+ */
+Result<CutePlan> tryBridgeConversion(const CuteConversionRequest &req,
+                                     const sim::GpuSpec &spec);
+
+/**
+ * Total planner over well-formed requests: pow2 shapes go straight
+ * through the bridge; non-pow2 shapes are factored into core +
+ * windowed scalar remainder. Only malformed requests (or a fully
+ * failpoint-disabled ladder) come back with a Diagnostic.
+ */
+Result<CutePlan> tryPlanCuteConversion(const CuteConversionRequest &req,
+                                       const sim::GpuSpec &spec);
+
+/** What one simulated execution of a CutePlan did. */
+struct CuteExecStats
+{
+    int64_t coreElems = 0;
+    int64_t remainderElems = 0;
+    /** Scalar windows opened for the remainder. */
+    int64_t windows = 0;
+};
+
+/**
+ * Execute the plan's data movement on element-granular buffers
+ * (srcBuf must cover src's cosize, dstBuf dst's cosize): the core box
+ * moves through the planned distributed route, the remainder through
+ * scalar windows of plan.scalarWindow elements. Establishes
+ * dstBuf[dst(i)] = srcBuf[src(i)] for every logical i.
+ */
+CuteExecStats executeCutePlan(const CutePlan &plan,
+                              const CuteConversionRequest &req,
+                              const std::vector<uint64_t> &srcBuf,
+                              std::vector<uint64_t> &dstBuf);
+
+} // namespace cute
+} // namespace ll
+
+#endif // LL_CUTE_ADMIT_H

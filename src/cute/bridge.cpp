@@ -1,0 +1,250 @@
+#include "cute/bridge.h"
+
+#include <utility>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace cute {
+
+namespace {
+
+bool
+isPow2(int64_t v)
+{
+    return v >= 1 && (v & (v - 1)) == 0;
+}
+
+int
+log2i(int64_t v)
+{
+    int n = 0;
+    while ((int64_t(1) << n) < v)
+        ++n;
+    return n;
+}
+
+/**
+ * The per-input-bit integer contributions of a pow2-extent layout, in
+ * global input-bit order (mode m, bit j contributes stride_m << j).
+ * Empty when any extent is not a power of two.
+ */
+std::vector<int64_t>
+bitImages(const CuteLayout &layout)
+{
+    std::vector<int64_t> images;
+    const auto &shape = layout.flatShape();
+    const auto &stride = layout.flatStride();
+    for (size_t m = 0; m < shape.size(); ++m) {
+        if (!isPow2(shape[m]))
+            return {};
+        for (int j = 0; j < log2i(shape[m]); ++j)
+            images.push_back(stride[m] << j);
+    }
+    return images;
+}
+
+/** First pair of bit positions with overlapping images, else {-1,-1}. */
+std::pair<int, int>
+firstOverlap(const std::vector<int64_t> &images)
+{
+    for (size_t p = 0; p < images.size(); ++p) {
+        if (images[p] == 0)
+            continue;
+        for (size_t q = p + 1; q < images.size(); ++q) {
+            if (images[p] & images[q])
+                return {static_cast<int>(p), static_cast<int>(q)};
+        }
+    }
+    return {-1, -1};
+}
+
+} // namespace
+
+bool
+isLinearizable(const CuteLayout &layout)
+{
+    if (layout.size() == 1)
+        return true;
+    auto images = bitImages(layout);
+    if (images.empty())
+        return false; // some extent is not a power of two
+    return firstOverlap(images).first < 0;
+}
+
+std::pair<int64_t, int64_t>
+linearityWitness(const CuteLayout &layout)
+{
+    auto images = bitImages(layout);
+    auto [p, q] = firstOverlap(images);
+    if (p < 0)
+        return {-1, -1};
+    // Extents are powers of two, so the colex split is a bit split and
+    // the flat index with only global bit p set has coordinate 2^j in
+    // bit p's mode. x and y touch bits whose integer contributions
+    // share a set bit, so L(x) + L(y) carries while XOR does not:
+    // L(x ^ y) = images[p] + images[q] != images[p] ^ images[q].
+    return {int64_t(1) << p, int64_t(1) << q};
+}
+
+Result<LinearLayout>
+toLinear(const CuteLayout &layout, const std::string &inDim,
+         const std::string &outDim)
+{
+    if (!isPow2(layout.size())) {
+        return makeDiag(DiagCode::InvalidInput, "cute.bridge",
+                        "toLinear(" + layout.toString() + "): domain size " +
+                            std::to_string(layout.size()) +
+                            " is not a power of two");
+    }
+    auto images = bitImages(layout);
+    if (images.empty() && layout.size() > 1) {
+        return makeDiag(DiagCode::InvalidInput, "cute.bridge",
+                        "toLinear(" + layout.toString() +
+                            "): an extent is not a power of two");
+    }
+    auto [p, q] = firstOverlap(images);
+    if (p >= 0) {
+        return makeDiag(DiagCode::InvalidInput, "cute.bridge",
+                        "toLinear(" + layout.toString() +
+                            "): input bits " + std::to_string(p) + " and " +
+                            std::to_string(q) +
+                            " have overlapping images " +
+                            std::to_string(images[p]) + " and " +
+                            std::to_string(images[q]) +
+                            " (addition would carry)");
+    }
+    int64_t maxImage = 0;
+    for (int64_t img : images)
+        maxImage |= img; // images are disjoint: OR == max reachable sum
+    llUserCheck(maxImage <= INT32_MAX,
+                "toLinear(" << layout.toString()
+                            << "): image does not fit 32-bit coords");
+    int32_t outSize = 1;
+    while (outSize <= maxImage)
+        outSize *= 2;
+    LinearLayout::BasesT bases;
+    auto &vecs = bases[inDim];
+    vecs.reserve(images.size());
+    for (int64_t img : images)
+        vecs.push_back({static_cast<int32_t>(img)});
+    return LinearLayout(std::move(bases), {{outDim, outSize}},
+                        /*requireSurjective=*/false);
+}
+
+Result<LinearLayout>
+toLinear(const CuteLayout &layout,
+         const std::vector<LinearLayout::DimSize> &inDims,
+         const std::vector<LinearLayout::DimSize> &outDims)
+{
+    auto flat = toLinear(layout, "in", "out");
+    if (!flat)
+        return flat.diag();
+    int64_t totalIn = 1;
+    for (const auto &[name, size] : inDims) {
+        llUserCheck(isPow2(size), "toLinear: input dim " << name
+                                                         << " size " << size
+                                                         << " not pow2");
+        totalIn *= size;
+    }
+    if (totalIn != layout.size()) {
+        return makeDiag(DiagCode::InvalidInput, "cute.bridge",
+                        "toLinear(" + layout.toString() +
+                            "): input dims cover " +
+                            std::to_string(totalIn) + " != domain size " +
+                            std::to_string(layout.size()));
+    }
+    int64_t totalOut = 1;
+    for (const auto &[name, size] : outDims) {
+        llUserCheck(isPow2(size), "toLinear: output dim " << name
+                                                          << " size "
+                                                          << size
+                                                          << " not pow2");
+        totalOut *= size;
+    }
+    if (totalOut < flat->getOutDimSize("out")) {
+        return makeDiag(DiagCode::InvalidInput, "cute.bridge",
+                        "toLinear(" + layout.toString() +
+                            "): output dims cover " +
+                            std::to_string(totalOut) +
+                            " < image bound " +
+                            std::to_string(flat->getOutDimSize("out")));
+    }
+    // Split the flat bases across the named dims: first in dim = LSBs
+    // of the flat index, first out dim = fastest axis of the offset.
+    auto images = flat->flattenedBases("in");
+    LinearLayout::BasesT bases;
+    size_t bit = 0;
+    for (const auto &[name, size] : inDims) {
+        auto &vecs = bases[name];
+        for (int j = 0; j < log2i(size); ++j, ++bit) {
+            uint64_t img = images[bit];
+            std::vector<int32_t> coords;
+            coords.reserve(outDims.size());
+            for (const auto &[outName, outSize] : outDims) {
+                coords.push_back(static_cast<int32_t>(img % outSize));
+                img /= outSize;
+            }
+            vecs.push_back(std::move(coords));
+        }
+    }
+    return LinearLayout(std::move(bases), outDims,
+                        /*requireSurjective=*/false);
+}
+
+bool
+isDelinearizable(const LinearLayout &layout)
+{
+    uint64_t seen = 0;
+    for (const auto &dim : layout.getInDimNames()) {
+        for (uint64_t img : layout.flattenedBases(dim)) {
+            if (seen & img)
+                return false;
+            seen |= img;
+        }
+    }
+    return true;
+}
+
+Result<CuteLayout>
+fromLinear(const LinearLayout &layout)
+{
+    uint64_t seen = 0;
+    std::vector<CuteLayout> modes;
+    for (const auto &dim : layout.getInDimNames()) {
+        auto images = layout.flattenedBases(dim);
+        if (images.empty()) {
+            modes.push_back(CuteLayout()); // size-1 dim: 1:0
+            continue;
+        }
+        std::vector<int64_t> shape(images.size(), 2);
+        std::vector<int64_t> stride;
+        stride.reserve(images.size());
+        for (size_t j = 0; j < images.size(); ++j) {
+            if (seen & images[j]) {
+                return makeDiag(
+                    DiagCode::InvalidInput, "cute.bridge",
+                    "fromLinear: basis 2^" + std::to_string(j) +
+                        " of input dim " + dim + " (image " +
+                        std::to_string(images[j]) +
+                        ") overlaps an earlier basis image: the map is "
+                        "a proper XOR-swizzle, not (shape):(stride) "
+                        "arithmetic");
+            }
+            seen |= images[j];
+            stride.push_back(static_cast<int64_t>(images[j]));
+        }
+        if (images.size() == 1)
+            modes.push_back(CuteLayout::make1D(2, stride[0]));
+        else
+            modes.push_back(CuteLayout::fromFlat(shape, stride));
+    }
+    if (modes.empty())
+        return CuteLayout();
+    if (modes.size() == 1)
+        return modes[0];
+    return CuteLayout::concat(modes);
+}
+
+} // namespace cute
+} // namespace ll

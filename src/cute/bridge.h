@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The lossless bridge between CuteLayout and LinearLayout.
+ *
+ * The power-of-two fragment of the CuTe algebra overlaps the F2 world
+ * exactly, and the overlap is decidable. A CuteLayout L is
+ * *linearizable* — expressible as a LinearLayout whose applyFlat agrees
+ * with L on every flat index — iff
+ *
+ *   (1) every flat extent is a power of two (so the domain is an F2
+ *       vector space and the colex coordinate split is a bit split), and
+ *   (2) the per-bit images are pairwise bit-disjoint: for a mode
+ *       (2^k : d), input bit j contributes d * 2^j to the offset, and
+ *       multiplication only distributes over the bits of the index —
+ *       i.e. equals the XOR of the contributions — when no two
+ *       contributions (across all modes and bits) share a set bit, so
+ *       no addition ever carries.
+ *
+ * Strides themselves need NOT be powers of two: 2:3 is perfectly
+ * F2-linear (basis image 0b11); what breaks linearity is *overlap*, as
+ * in (2,2):(1,3) where 1 & (3<<0)... shares bit 0 and index 3 maps to
+ * 1 + 3 = 4 != 1 ^ 3 = 2. The reverse direction mirrors this: a
+ * LinearLayout is *delinearizable* — expressible as (shape):(stride)
+ * integer arithmetic — iff its flattened basis images are pairwise
+ * bit-disjoint; XOR-swizzles (whose whole point is overlapping basis
+ * images) are exactly what gets rejected.
+ *
+ * Both predicates are proven exact (accepts <=> round-trips, rejects
+ * <=> an explicit linearity witness exists) by tests/cute_bridge_test
+ * and the llfuzz --diff-cute shrinker.
+ */
+
+#ifndef LL_CUTE_BRIDGE_H
+#define LL_CUTE_BRIDGE_H
+
+#include <string>
+#include <vector>
+
+#include "cute/cute_layout.h"
+#include "layout/linear_layout.h"
+#include "support/result.h"
+
+namespace ll {
+namespace cute {
+
+/**
+ * True iff `layout` denotes an F2-linear map: all extents powers of
+ * two and all nonzero per-bit contributions pairwise bit-disjoint.
+ */
+bool isLinearizable(const CuteLayout &layout);
+
+/**
+ * Witness of non-linearity for a pow2-extent layout rejected by
+ * isLinearizable: a pair (x, y) of flat indices with
+ * L(x ^ y) != L(x) ^ L(y). Exists for every such rejection (this is
+ * what "isLinearizable is exact" means in the rejecting direction);
+ * returns {-1, -1} only when the layout is in fact linearizable or has
+ * a non-pow2 extent (where XOR on the domain is not even defined).
+ */
+std::pair<int64_t, int64_t> linearityWitness(const CuteLayout &layout);
+
+/**
+ * Bridge a linearizable CuteLayout to the LinearLayout computing the
+ * same flat-index map: one input dimension `inDim` of size
+ * size(layout), one output dimension `outDim` sized to the smallest
+ * power of two containing the image. Fails with
+ * DiagCode::InvalidInput naming the violated condition otherwise.
+ */
+Result<LinearLayout> toLinear(const CuteLayout &layout,
+                              const std::string &inDim = "in",
+                              const std::string &outDim = "dim0");
+
+/**
+ * As above, but with the input bits split across the given named dims
+ * (first dim = least significant, sizes must multiply to
+ * size(layout)) and the output bits split across `outDims` (sizes
+ * must cover the image). This is the form the planner consumes:
+ * register/lane/warp input dims over named tensor axes.
+ */
+Result<LinearLayout> toLinear(const CuteLayout &layout,
+                              const std::vector<LinearLayout::DimSize>
+                                  &inDims,
+                              const std::vector<LinearLayout::DimSize>
+                                  &outDims);
+
+/**
+ * True iff `layout`'s flattened basis images are pairwise
+ * bit-disjoint, i.e. the map is integer (shape):(stride) arithmetic
+ * and not a proper XOR-swizzle.
+ */
+bool isDelinearizable(const LinearLayout &layout);
+
+/**
+ * Bridge a delinearizable LinearLayout back to a CuteLayout agreeing
+ * with applyFlat on every flattened input index. The result has one
+ * top-level mode per input dimension (in input order), each mode a
+ * chain of extent-2 leaves carrying that bit's image as its stride.
+ * Fails with DiagCode::InvalidInput (naming the overlapping basis
+ * pair) on swizzled layouts.
+ */
+Result<CuteLayout> fromLinear(const LinearLayout &layout);
+
+} // namespace cute
+} // namespace ll
+
+#endif // LL_CUTE_BRIDGE_H

@@ -1,0 +1,451 @@
+#include "cute/cute_layout.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace cute {
+
+CuteLayout::CuteLayout(IntTuple shape, IntTuple stride)
+    : shape_(std::move(shape)), stride_(std::move(stride))
+{
+    llUserCheck(shape_.congruent(stride_),
+                "CuteLayout: shape " << shape_.toString()
+                                     << " and stride "
+                                     << stride_.toString()
+                                     << " are not congruent");
+    flatShape_ = shape_.flatten();
+    flatStride_ = stride_.flatten();
+    for (size_t i = 0; i < flatShape_.size(); ++i) {
+        llUserCheck(flatShape_[i] >= 1,
+                    "CuteLayout: extent " << flatShape_[i]
+                                          << " must be >= 1 in "
+                                          << shape_.toString());
+        llUserCheck(flatStride_[i] >= 0,
+                    "CuteLayout: stride " << flatStride_[i]
+                                          << " must be >= 0 in "
+                                          << stride_.toString());
+    }
+}
+
+CuteLayout
+CuteLayout::make1D(int64_t size, int64_t stride)
+{
+    return CuteLayout(IntTuple(size), IntTuple(stride));
+}
+
+CuteLayout
+CuteLayout::fromFlat(const std::vector<int64_t> &shape,
+                     const std::vector<int64_t> &stride)
+{
+    llUserCheck(shape.size() == stride.size(),
+                "CuteLayout::fromFlat: " << shape.size() << " extents vs "
+                                         << stride.size() << " strides");
+    return CuteLayout(IntTuple::fromFlat(shape), IntTuple::fromFlat(stride));
+}
+
+CuteLayout
+CuteLayout::compactColex(const std::vector<int64_t> &shape)
+{
+    std::vector<int64_t> stride(shape.size());
+    int64_t run = 1;
+    for (size_t i = 0; i < shape.size(); ++i) {
+        stride[i] = run;
+        run *= shape[i];
+    }
+    return fromFlat(shape, stride);
+}
+
+CuteLayout
+CuteLayout::concat(const std::vector<CuteLayout> &modes)
+{
+    std::vector<IntTuple> shapes, strides;
+    shapes.reserve(modes.size());
+    strides.reserve(modes.size());
+    for (const auto &m : modes) {
+        shapes.push_back(m.shape());
+        strides.push_back(m.stride());
+    }
+    return CuteLayout(IntTuple::node(std::move(shapes)),
+                      IntTuple::node(std::move(strides)));
+}
+
+int64_t
+CuteLayout::cosize() const
+{
+    int64_t top = 0;
+    for (size_t i = 0; i < flatShape_.size(); ++i)
+        top += (flatShape_[i] - 1) * flatStride_[i];
+    return top + 1;
+}
+
+CuteLayout
+CuteLayout::mode(int i) const
+{
+    llUserCheck(i >= 0 && i < rank(),
+                "CuteLayout::mode(" << i << ") on rank-" << rank()
+                                    << " layout " << toString());
+    if (shape_.isLeaf())
+        return *this;
+    return CuteLayout(shape_.children()[i], stride_.children()[i]);
+}
+
+int64_t
+CuteLayout::operator()(int64_t idx) const
+{
+    llUserCheck(idx >= 0 && idx < size(),
+                "CuteLayout: index " << idx << " outside [0, " << size()
+                                     << ") of " << toString());
+    int64_t out = 0;
+    for (size_t i = 0; i < flatShape_.size(); ++i) {
+        out += (idx % flatShape_[i]) * flatStride_[i];
+        idx /= flatShape_[i];
+    }
+    return out;
+}
+
+int64_t
+CuteLayout::apply(const std::vector<int64_t> &flatCoord) const
+{
+    llUserCheck(flatCoord.size() == flatShape_.size(),
+                "CuteLayout::apply: " << flatCoord.size()
+                                      << " coords for flat rank "
+                                      << flatShape_.size());
+    int64_t out = 0;
+    for (size_t i = 0; i < flatCoord.size(); ++i) {
+        llUserCheck(flatCoord[i] >= 0 && flatCoord[i] < flatShape_[i],
+                    "CuteLayout::apply: coord " << flatCoord[i]
+                                                << " outside extent "
+                                                << flatShape_[i]);
+        out += flatCoord[i] * flatStride_[i];
+    }
+    return out;
+}
+
+std::vector<int64_t>
+CuteLayout::coordOf(int64_t idx) const
+{
+    llUserCheck(idx >= 0 && idx < size(),
+                "CuteLayout: index " << idx << " outside [0, " << size()
+                                     << ") of " << toString());
+    std::vector<int64_t> coord(flatShape_.size());
+    for (size_t i = 0; i < flatShape_.size(); ++i) {
+        coord[i] = idx % flatShape_[i];
+        idx /= flatShape_[i];
+    }
+    return coord;
+}
+
+bool
+CuteLayout::operator==(const CuteLayout &other) const
+{
+    return shape_ == other.shape_ && stride_ == other.stride_;
+}
+
+std::string
+CuteLayout::toString() const
+{
+    return shape_.toString() + ":" + stride_.toString();
+}
+
+CuteLayout
+CuteLayout::parse(const std::string &text)
+{
+    // Split at the ':' separating the two trees. Colons never appear
+    // inside an IntTuple, so the first one is the separator.
+    size_t colon = text.find(':');
+    llUserCheck(colon != std::string::npos,
+                "CuteLayout::parse: missing ':' in \"" << text << "\"");
+    return CuteLayout(IntTuple::parse(text.substr(0, colon)),
+                      IntTuple::parse(text.substr(colon + 1)));
+}
+
+// ---------------------------------------------------------------------
+// Algebra
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct FlatMode
+{
+    int64_t extent;
+    int64_t stride;
+};
+
+/** Drop size-1 modes and merge contiguous neighbours. */
+std::vector<FlatMode>
+coalesceModes(const std::vector<int64_t> &shape,
+              const std::vector<int64_t> &stride)
+{
+    std::vector<FlatMode> out;
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (shape[i] == 1)
+            continue;
+        if (!out.empty() &&
+            stride[i] == out.back().extent * out.back().stride) {
+            out.back().extent *= shape[i];
+            continue;
+        }
+        out.push_back({shape[i], stride[i]});
+    }
+    return out;
+}
+
+CuteLayout
+layoutFromModes(const std::vector<FlatMode> &modes)
+{
+    if (modes.empty())
+        return CuteLayout(); // 1:0
+    if (modes.size() == 1)
+        return CuteLayout::make1D(modes[0].extent, modes[0].stride);
+    std::vector<int64_t> shape, stride;
+    shape.reserve(modes.size());
+    stride.reserve(modes.size());
+    for (const auto &m : modes) {
+        shape.push_back(m.extent);
+        stride.push_back(m.stride);
+    }
+    return CuteLayout::fromFlat(shape, stride);
+}
+
+/**
+ * Compose coalesced flat modes of A with the single mode s:d of B:
+ * walk the arithmetic progression {0, d, 2d, ...} through A's colex
+ * mode boundaries, failing with a Diagnostic wherever a divisibility
+ * condition would make the result inexpressible as a layout.
+ */
+Result<std::vector<FlatMode>>
+compose1D(const std::vector<FlatMode> &a, int64_t aSize, int64_t s,
+          int64_t d, const std::string &what)
+{
+    std::vector<FlatMode> out;
+    if (s == 1)
+        return out;
+    if (d == 0) {
+        out.push_back({s, 0});
+        return out;
+    }
+    // Reach check: the largest argument B produces must land in A's
+    // domain.
+    if ((s - 1) * d >= aSize) {
+        return makeDiag(DiagCode::InvalidInput, "cute.composition",
+                        what + ": mode " + std::to_string(s) + ":" +
+                            std::to_string(d) +
+                            " reaches past the domain (size " +
+                            std::to_string(aSize) + ") of the lhs");
+    }
+    // Divide the stride d out of A's leading modes.
+    size_t i = 0;
+    int64_t rem = d;
+    while (i < a.size() && rem >= a[i].extent) {
+        if (rem % a[i].extent != 0) {
+            return makeDiag(DiagCode::InvalidInput, "cute.composition",
+                            what + ": stride " + std::to_string(d) +
+                                " does not factor over lhs extent " +
+                                std::to_string(a[i].extent));
+        }
+        rem /= a[i].extent;
+        ++i;
+    }
+    // Consume s elements across the remaining modes.
+    int64_t remaining = s;
+    while (remaining > 1) {
+        if (i >= a.size()) {
+            return makeDiag(DiagCode::InvalidInput, "cute.composition",
+                            what + ": rhs walks past the lhs modes");
+        }
+        int64_t extent = a[i].extent;
+        int64_t stride = a[i].stride;
+        if (rem > 1 && extent % rem != 0) {
+            return makeDiag(DiagCode::InvalidInput, "cute.composition",
+                            what + ": stride remainder " +
+                                std::to_string(rem) +
+                                " does not divide lhs extent " +
+                                std::to_string(extent));
+        }
+        int64_t avail = rem > 1 ? extent / rem : extent;
+        int64_t take = std::min(remaining, avail);
+        if (take > 1)
+            out.push_back({take, stride * rem});
+        if (remaining > avail) {
+            if (remaining % avail != 0) {
+                return makeDiag(
+                    DiagCode::InvalidInput, "cute.composition",
+                    what + ": rhs extent " + std::to_string(s) +
+                        " wraps mid-mode over lhs extent " +
+                        std::to_string(extent));
+            }
+            remaining /= avail;
+        } else {
+            remaining = 1;
+        }
+        rem = 1;
+        ++i;
+    }
+    return out;
+}
+
+/** Rebuild one mode of B as the composed tree A ∘ mode. */
+Result<std::pair<IntTuple, IntTuple>>
+composeTree(const std::vector<FlatMode> &a, int64_t aSize,
+            const IntTuple &bShape, const IntTuple &bStride,
+            const std::string &what)
+{
+    if (!bShape.isLeaf()) {
+        std::vector<IntTuple> shapes, strides;
+        shapes.reserve(bShape.children().size());
+        for (int i = 0; i < bShape.rank(); ++i) {
+            auto sub = composeTree(a, aSize, bShape.children()[i],
+                                   bStride.children()[i], what);
+            if (!sub)
+                return sub.diag();
+            shapes.push_back(sub->first);
+            strides.push_back(sub->second);
+        }
+        return std::make_pair(IntTuple::node(std::move(shapes)),
+                              IntTuple::node(std::move(strides)));
+    }
+    auto modes =
+        compose1D(a, aSize, bShape.value(), bStride.value(), what);
+    if (!modes)
+        return modes.diag();
+    if (modes->empty())
+        return std::make_pair(IntTuple(1), IntTuple(0));
+    if (modes->size() == 1) {
+        return std::make_pair(IntTuple((*modes)[0].extent),
+                              IntTuple((*modes)[0].stride));
+    }
+    std::vector<int64_t> shape, stride;
+    for (const auto &m : *modes) {
+        shape.push_back(m.extent);
+        stride.push_back(m.stride);
+    }
+    return std::make_pair(IntTuple::fromFlat(shape),
+                          IntTuple::fromFlat(stride));
+}
+
+} // namespace
+
+CuteLayout
+coalesce(const CuteLayout &layout)
+{
+    return layoutFromModes(
+        coalesceModes(layout.flatShape(), layout.flatStride()));
+}
+
+Result<CuteLayout>
+composition(const CuteLayout &a, const CuteLayout &b)
+{
+    const std::string what =
+        "composition(" + a.toString() + ", " + b.toString() + ")";
+    // Cross-mode admissibility: each leaf (s, d) of B contributes
+    // values from the weight interval [d, s*d) to A's argument, and the
+    // per-leaf composition below is only the true function composition
+    // when those contributions add without interacting — i.e. when the
+    // intervals are pairwise disjoint, so the sum is a mixed-radix
+    // decomposition and A distributes over it. (12,3):(15,15) is the
+    // counterexample otherwise: both modes drive the same digits of A.
+    {
+        std::vector<std::pair<int64_t, int64_t>> spans; // [d, s*d)
+        const std::vector<int64_t> &bs = b.flatShape();
+        const std::vector<int64_t> &bd = b.flatStride();
+        for (size_t k = 0; k < bs.size(); ++k) {
+            if (bs[k] > 1 && bd[k] > 0)
+                spans.emplace_back(bd[k], bs[k] * bd[k]);
+        }
+        std::sort(spans.begin(), spans.end());
+        for (size_t k = 0; k + 1 < spans.size(); ++k) {
+            if (spans[k].second > spans[k + 1].first) {
+                return makeDiag(
+                    DiagCode::InvalidInput, "cute.composition",
+                    what + ": rhs modes overlap in the lhs argument (" +
+                        "weight intervals [" +
+                        std::to_string(spans[k].first) + ", " +
+                        std::to_string(spans[k].second) + ") and [" +
+                        std::to_string(spans[k + 1].first) + ", " +
+                        std::to_string(spans[k + 1].second) + "))");
+            }
+        }
+    }
+    auto aModes = coalesceModes(a.flatShape(), a.flatStride());
+    auto tree = composeTree(aModes, a.size(), b.shape(), b.stride(), what);
+    if (!tree)
+        return tree.diag();
+    return CuteLayout(tree->first, tree->second);
+}
+
+Result<CuteLayout>
+complement(const CuteLayout &a, int64_t m)
+{
+    const std::string what =
+        "complement(" + a.toString() + ", " + std::to_string(m) + ")";
+    llUserCheck(m >= 1,
+                "complement codomain size must be >= 1, got " << m);
+    auto modes = coalesceModes(a.flatShape(), a.flatStride());
+    std::sort(modes.begin(), modes.end(),
+              [](const FlatMode &x, const FlatMode &y) {
+                  return x.stride < y.stride;
+              });
+    std::vector<FlatMode> out;
+    int64_t covered = 1; // strides [0, covered) are tiled so far
+    for (const auto &mode : modes) {
+        if (mode.stride == 0) {
+            return makeDiag(DiagCode::InvalidInput, "cute.complement",
+                            what + ": lhs is non-injective (stride-0 "
+                                   "mode of extent " +
+                                std::to_string(mode.extent) + ")");
+        }
+        if (mode.stride % covered != 0 || mode.stride < covered) {
+            return makeDiag(DiagCode::InvalidInput, "cute.complement",
+                            what + ": stride " +
+                                std::to_string(mode.stride) +
+                                " does not tile on top of covered size " +
+                                std::to_string(covered));
+        }
+        if (mode.stride > covered)
+            out.push_back({mode.stride / covered, covered});
+        covered = mode.stride * mode.extent;
+    }
+    if (m % covered != 0) {
+        return makeDiag(DiagCode::InvalidInput, "cute.complement",
+                        what + ": covered size " + std::to_string(covered) +
+                            " does not divide codomain " +
+                            std::to_string(m));
+    }
+    if (m > covered)
+        out.push_back({m / covered, covered});
+    // The construction yields strictly increasing strides, so this is
+    // already coalesced except for possible adjacent-contiguity merges.
+    std::vector<int64_t> shape, stride;
+    for (const auto &mo : out) {
+        shape.push_back(mo.extent);
+        stride.push_back(mo.stride);
+    }
+    return layoutFromModes(coalesceModes(shape, stride));
+}
+
+Result<CuteLayout>
+logicalDivide(const CuteLayout &a, const CuteLayout &tiler)
+{
+    auto rest = complement(tiler, a.size());
+    if (!rest)
+        return rest.diag();
+    return composition(a, CuteLayout::concat({tiler, *rest}));
+}
+
+Result<CuteLayout>
+logicalProduct(const CuteLayout &a, const CuteLayout &b)
+{
+    auto gaps = complement(a, a.size() * b.cosize());
+    if (!gaps)
+        return gaps.diag();
+    auto replicas = composition(*gaps, b);
+    if (!replicas)
+        return replicas.diag();
+    return CuteLayout::concat({a, *replicas});
+}
+
+} // namespace cute
+} // namespace ll

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * CuteLayout: CuTe's (shape, stride) tensor layouts over the integers.
+ *
+ * A CuteLayout is a pair of congruent IntTuples. It denotes the
+ * function
+ *
+ *     L(i) = sum_k  c_k * d_k
+ *
+ * where (c_1, ..., c_n) is the colexicographic decomposition of the
+ * flat index i over the flattened shape leaves (first leaf fastest,
+ * matching both CuTe's convention and LinearLayout's
+ * first-dim-least-significant flattening) and d_k are the flattened
+ * stride leaves. Unlike LinearLayout, nothing here is a power of two:
+ * extents like 3, 100, or 50257 and strides like 35 are first-class,
+ * which is what admits the real-workload shapes (vocab sizes, odd
+ * sequence lengths) that the F2 machinery alone rejects.
+ *
+ * The algebra of this file — coalesce, composition, complement,
+ * logical divide, logical product — follows Cecka's "CuTe Layout
+ * Representation and Algebra" and the Colfax categorical treatment.
+ * Operations that require divisibility conditions return
+ * Result<CuteLayout> and decline with a Diagnostic instead of
+ * computing a wrong layout; every law they promise is enforced by
+ * exhaustive enumeration in tests/cute_algebra_test.cpp.
+ *
+ * The power-of-two fragment of this algebra overlaps LinearLayout
+ * exactly; see cute/bridge.h for the lossless round trip.
+ */
+
+#ifndef LL_CUTE_CUTE_LAYOUT_H
+#define LL_CUTE_CUTE_LAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cute/int_tuple.h"
+#include "support/result.h"
+
+namespace ll {
+namespace cute {
+
+class CuteLayout
+{
+  public:
+    /** The unit layout 1:0 (size 1, constant 0). */
+    CuteLayout() : shape_(1), stride_(0) {}
+
+    /**
+     * Construct from congruent shape and stride trees. Extents must be
+     * >= 1 and strides >= 0 (negative strides are out of scope here).
+     */
+    CuteLayout(IntTuple shape, IntTuple stride);
+
+    /** The flat layout s:d. */
+    static CuteLayout make1D(int64_t size, int64_t stride = 1);
+
+    /** A depth-1 layout from parallel extent/stride lists. */
+    static CuteLayout fromFlat(const std::vector<int64_t> &shape,
+                               const std::vector<int64_t> &stride);
+
+    /**
+     * The compact colexicographic (column-major in CuTe speak) layout
+     * of the given extents: stride_k = product of earlier extents.
+     */
+    static CuteLayout compactColex(const std::vector<int64_t> &shape);
+
+    /** Concatenate layouts as the modes of one new layout (A, B, ...). */
+    static CuteLayout concat(const std::vector<CuteLayout> &modes);
+
+    const IntTuple &shape() const { return shape_; }
+    const IntTuple &stride() const { return stride_; }
+
+    /** Number of top-level modes. */
+    int rank() const { return shape_.rank(); }
+
+    /** Domain size: product of all extents. */
+    int64_t size() const { return shape_.product(); }
+
+    /**
+     * One past the largest reachable offset:
+     * sum_k (s_k - 1) * d_k + 1 (strides are non-negative).
+     */
+    int64_t cosize() const;
+
+    /** The i-th top-level mode as its own layout. */
+    CuteLayout mode(int i) const;
+
+    /** Flattened extents / strides, left to right. */
+    const std::vector<int64_t> &flatShape() const { return flatShape_; }
+    const std::vector<int64_t> &flatStride() const
+    {
+        return flatStride_;
+    }
+
+    /** Evaluate at a flat index in [0, size()). */
+    int64_t operator()(int64_t idx) const;
+
+    /** Evaluate at an explicit flat coordinate (one per shape leaf). */
+    int64_t apply(const std::vector<int64_t> &flatCoord) const;
+
+    /** Colexicographic decomposition of a flat index over the leaves. */
+    std::vector<int64_t> coordOf(int64_t idx) const;
+
+    /** Structural equality (same trees, not just the same function). */
+    bool operator==(const CuteLayout &other) const;
+    bool operator!=(const CuteLayout &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** "((2,2),3):((1,32),8)". */
+    std::string toString() const;
+
+    /** Inverse of toString; throws UserError on malformed input. */
+    static CuteLayout parse(const std::string &text);
+
+  private:
+    IntTuple shape_;
+    IntTuple stride_;
+    // Flattened views, derived once at construction.
+    std::vector<int64_t> flatShape_;
+    std::vector<int64_t> flatStride_;
+};
+
+// ---------------------------------------------------------------------
+// The layout algebra. Laws are stated here and proven by enumeration in
+// tests/cute_algebra_test.cpp; operations whose divisibility
+// preconditions fail return a Diagnostic (DiagCode::InvalidInput)
+// rather than a wrong layout.
+// ---------------------------------------------------------------------
+
+/**
+ * Flatten nesting, drop size-1 modes, and merge adjacent modes
+ * (s1, d1), (s2, d2) with d2 == s1 * d1 into (s1*s2, d1).
+ * Law: coalesce(A)(i) == A(i) for all i, and the result is maximally
+ * coalesced (no further merge applies).
+ */
+CuteLayout coalesce(const CuteLayout &layout);
+
+/**
+ * Functional composition R = A after B: R(i) = A(B(i)).
+ * Requires B to be "admissible into" A: every mode of B must factor
+ * through A's mode boundaries (the standard CuTe left-divisibility
+ * conditions), B's modes must occupy pairwise-disjoint weight ranges
+ * of A's argument, and B's reach must fit A's domain.
+ * Law: on success, R(i) == A(B(i)) for all i < size(B), and
+ * size(R) == size(B).
+ */
+Result<CuteLayout> composition(const CuteLayout &a, const CuteLayout &b);
+
+/**
+ * The complement of A with respect to codomain size M: a layout A*
+ * such that the concatenated layout (A, A*) is a bijection from
+ * [0, size(A) * size(A*)) onto [0, M). Requires A to be injective
+ * with strides that tile M (the CuTe admissibility conditions).
+ */
+Result<CuteLayout> complement(const CuteLayout &a, int64_t m);
+
+/**
+ * Logical division: split A's domain by the tiler B,
+ *     logical_divide(A, B) = composition(A, (B, complement(B, size(A)))).
+ * Mode 0 of the result walks one tile (law: it equals
+ * composition(A, B) functionally); mode 1 walks tile origins. The
+ * division permutes A's domain: the image multiset is preserved.
+ */
+Result<CuteLayout> logicalDivide(const CuteLayout &a,
+                                 const CuteLayout &tiler);
+
+/**
+ * Logical product: replicate A according to B,
+ *     logical_product(A, B) =
+ *         (A, composition(complement(A, size(A) * cosize(B)), B)).
+ * Mode 0 of the result is A itself; each fixed replica index j sees
+ * A's image set translated by a per-replica constant, and when B is
+ * injective the replicas are pairwise disjoint.
+ */
+Result<CuteLayout> logicalProduct(const CuteLayout &a,
+                                  const CuteLayout &b);
+
+} // namespace cute
+} // namespace ll
+
+#endif // LL_CUTE_CUTE_LAYOUT_H

@@ -1,0 +1,240 @@
+#include "cute/int_tuple.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace ll {
+namespace cute {
+
+IntTuple::IntTuple(int64_t v) : leaf_(v)
+{
+    llUserCheck(v >= 0, "IntTuple leaves must be non-negative, got " << v);
+}
+
+IntTuple::IntTuple(std::initializer_list<IntTuple> kids)
+    : isNode_(true), kids_(kids)
+{
+}
+
+IntTuple
+IntTuple::node(std::vector<IntTuple> kids)
+{
+    IntTuple t;
+    t.isNode_ = true;
+    t.kids_ = std::move(kids);
+    return t;
+}
+
+IntTuple
+IntTuple::fromFlat(const std::vector<int64_t> &leaves)
+{
+    std::vector<IntTuple> kids;
+    kids.reserve(leaves.size());
+    for (int64_t v : leaves)
+        kids.emplace_back(v);
+    return node(std::move(kids));
+}
+
+int64_t
+IntTuple::value() const
+{
+    llAssert(!isNode_, "IntTuple::value() on a node");
+    return leaf_;
+}
+
+const std::vector<IntTuple> &
+IntTuple::children() const
+{
+    llAssert(isNode_, "IntTuple::children() on a leaf");
+    return kids_;
+}
+
+int
+IntTuple::rank() const
+{
+    return isNode_ ? static_cast<int>(kids_.size()) : 1;
+}
+
+int
+IntTuple::flatRank() const
+{
+    if (!isNode_)
+        return 1;
+    int n = 0;
+    for (const auto &k : kids_)
+        n += k.flatRank();
+    return n;
+}
+
+int
+IntTuple::depth() const
+{
+    if (!isNode_)
+        return 0;
+    int d = 0;
+    for (const auto &k : kids_)
+        d = std::max(d, k.depth());
+    return d + 1;
+}
+
+int64_t
+IntTuple::product() const
+{
+    if (!isNode_)
+        return leaf_;
+    int64_t p = 1;
+    for (const auto &k : kids_)
+        p *= k.product();
+    return p;
+}
+
+std::vector<int64_t>
+IntTuple::flatten() const
+{
+    std::vector<int64_t> out;
+    out.reserve(static_cast<size_t>(flatRank()));
+    std::vector<const IntTuple *> stack{this};
+    // Depth-first, left to right (stack walks children in reverse).
+    while (!stack.empty()) {
+        const IntTuple *t = stack.back();
+        stack.pop_back();
+        if (t->isLeaf()) {
+            out.push_back(t->leaf_);
+            continue;
+        }
+        for (auto it = t->kids_.rbegin(); it != t->kids_.rend(); ++it)
+            stack.push_back(&*it);
+    }
+    return out;
+}
+
+bool
+IntTuple::congruent(const IntTuple &other) const
+{
+    if (isNode_ != other.isNode_)
+        return false;
+    if (!isNode_)
+        return true;
+    if (kids_.size() != other.kids_.size())
+        return false;
+    for (size_t i = 0; i < kids_.size(); ++i) {
+        if (!kids_[i].congruent(other.kids_[i]))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+IntTuple
+reprofileImpl(const IntTuple &profile, const std::vector<int64_t> &leaves,
+              size_t &next)
+{
+    if (profile.isLeaf()) {
+        llAssert(next < leaves.size(),
+                 "reprofile: not enough leaf values");
+        return IntTuple(leaves[next++]);
+    }
+    std::vector<IntTuple> kids;
+    kids.reserve(profile.children().size());
+    for (const auto &k : profile.children())
+        kids.push_back(reprofileImpl(k, leaves, next));
+    return IntTuple::node(std::move(kids));
+}
+
+} // namespace
+
+IntTuple
+IntTuple::reprofile(const std::vector<int64_t> &leaves) const
+{
+    llUserCheck(static_cast<int>(leaves.size()) == flatRank(),
+                "reprofile: " << leaves.size() << " leaves for a profile "
+                              << "of flat rank " << flatRank());
+    size_t next = 0;
+    return reprofileImpl(*this, leaves, next);
+}
+
+bool
+IntTuple::operator==(const IntTuple &other) const
+{
+    if (isNode_ != other.isNode_)
+        return false;
+    if (!isNode_)
+        return leaf_ == other.leaf_;
+    return kids_ == other.kids_;
+}
+
+std::string
+IntTuple::toString() const
+{
+    if (!isNode_)
+        return std::to_string(leaf_);
+    std::string out = "(";
+    for (size_t i = 0; i < kids_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += kids_[i].toString();
+    }
+    out += ")";
+    return out;
+}
+
+namespace {
+
+IntTuple
+parseImpl(const std::string &s, size_t &pos)
+{
+    llUserCheck(pos < s.size(), "IntTuple::parse: unexpected end of \""
+                                    << s << "\"");
+    if (s[pos] == '(') {
+        ++pos;
+        std::vector<IntTuple> kids;
+        if (pos < s.size() && s[pos] == ')') {
+            ++pos;
+            return IntTuple::node(std::move(kids));
+        }
+        while (true) {
+            kids.push_back(parseImpl(s, pos));
+            llUserCheck(pos < s.size(),
+                        "IntTuple::parse: unterminated tuple in \""
+                            << s << "\"");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            llUserCheck(s[pos] == ')',
+                        "IntTuple::parse: expected ',' or ')' at offset "
+                            << pos << " of \"" << s << "\"");
+            ++pos;
+            return IntTuple::node(std::move(kids));
+        }
+    }
+    llUserCheck(s[pos] >= '0' && s[pos] <= '9',
+                "IntTuple::parse: expected digit or '(' at offset "
+                    << pos << " of \"" << s << "\"");
+    int64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+        v = v * 10 + (s[pos] - '0');
+        llUserCheck(v >= 0, "IntTuple::parse: overflow in \"" << s
+                                                              << "\"");
+        ++pos;
+    }
+    return IntTuple(v);
+}
+
+} // namespace
+
+IntTuple
+IntTuple::parse(const std::string &text)
+{
+    size_t pos = 0;
+    IntTuple t = parseImpl(text, pos);
+    llUserCheck(pos == text.size(),
+                "IntTuple::parse: trailing characters in \"" << text
+                                                             << "\"");
+    return t;
+}
+
+} // namespace cute
+} // namespace ll

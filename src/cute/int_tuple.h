@@ -1,0 +1,101 @@
+/**
+ * @file
+ * IntTuple: the nested integer tuples underlying CuTe layouts.
+ *
+ * CuTe (Cecka, "CuTe Layout Representation and Algebra"; Carlisle et
+ * al., "Categorical Foundations for CuTe Layouts") describes a tensor
+ * layout as a pair of *congruent* nested integer tuples — a shape tree
+ * and a stride tree with the same profile. An IntTuple is either a
+ * single non-negative integer (a leaf) or an ordered list of
+ * IntTuples (a node). The nesting is semantically meaningful: it
+ * records the mode hierarchy that CuTe's tiling operators (logical
+ * divide / product) create and consume.
+ *
+ * This is deliberately a plain value type with no F2 anywhere in it:
+ * extents and strides are ordinary integers, which is exactly what
+ * lets CuteLayout express the non-power-of-two tensors that
+ * LinearLayout cannot (see bridge.h for the overlap fragment).
+ */
+
+#ifndef LL_CUTE_INT_TUPLE_H
+#define LL_CUTE_INT_TUPLE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ll {
+namespace cute {
+
+class IntTuple
+{
+  public:
+    /** The leaf 0. */
+    IntTuple() = default;
+
+    /** A leaf holding `v` (must be >= 0). */
+    IntTuple(int64_t v); // NOLINT(implicit): mirrors CuTe's Int/tuple mix
+
+    /** A node with the given children (may be empty: the rank-0 tuple). */
+    IntTuple(std::initializer_list<IntTuple> kids);
+
+    static IntTuple node(std::vector<IntTuple> kids);
+
+    /** A flat (depth-1) node over the given leaf values. */
+    static IntTuple fromFlat(const std::vector<int64_t> &leaves);
+
+    bool isLeaf() const { return !isNode_; }
+
+    /** Leaf value; asserts on nodes. */
+    int64_t value() const;
+
+    /** Children; asserts on leaves. */
+    const std::vector<IntTuple> &children() const;
+
+    /** Number of top-level modes: 1 for a leaf, child count for a node. */
+    int rank() const;
+
+    /** Leaf count of the whole tree. */
+    int flatRank() const;
+
+    /** 0 for a leaf, 1 + max child depth for a node. */
+    int depth() const;
+
+    /** Product of all leaves (1 for an empty node). */
+    int64_t product() const;
+
+    /** All leaves, left to right. */
+    std::vector<int64_t> flatten() const;
+
+    /** Same tree profile (ignores leaf values). */
+    bool congruent(const IntTuple &other) const;
+
+    /**
+     * A tree with this tuple's profile whose leaves are replaced, left
+     * to right, by `leaves` (size must equal flatRank()).
+     */
+    IntTuple reprofile(const std::vector<int64_t> &leaves) const;
+
+    bool operator==(const IntTuple &other) const;
+    bool operator!=(const IntTuple &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** "3", "(2,3)", "((2,2),5)", "()". */
+    std::string toString() const;
+
+    /** Inverse of toString; throws UserError on malformed input. */
+    static IntTuple parse(const std::string &text);
+
+  private:
+    bool isNode_ = false;
+    int64_t leaf_ = 0;
+    std::vector<IntTuple> kids_;
+};
+
+} // namespace cute
+} // namespace ll
+
+#endif // LL_CUTE_INT_TUPLE_H

@@ -8,6 +8,7 @@
 #include "codegen/shuffle.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
+#include "service/cute_service.h"
 #include "service/plan_cache.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
@@ -134,6 +135,27 @@ LayoutEngine::dotOperandLayout(const ir::TensorType &operandType,
     enc.opIdx = opIdx;
     enc.bitwidth = std::clamp(operandBits, 8, 32);
     return enc.toLinearLayout(operandType.shape);
+}
+
+Result<cute::CutePlan>
+LayoutEngine::planCuteConversion(const cute::CuteLayout &src,
+                                 const cute::CuteLayout &dst,
+                                 int elemBytes) const
+{
+    cute::CuteConversionRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.elemBytes = elemBytes;
+    req.numWarps = options_.numWarps;
+    if (options_.planCache == nullptr)
+        return cute::tryPlanCuteConversion(req, options_.spec);
+    auto outcome = service::serveCuteConversion(options_.planCache, req,
+                                                options_.spec);
+    if (outcome.planned())
+        return std::move(*outcome.plan);
+    return makeDiag(outcome.execFailed ? DiagCode::ExecutionFailed
+                                       : DiagCode::InvalidInput,
+                    "engine.cute", outcome.error);
 }
 
 void

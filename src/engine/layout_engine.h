@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cute/admit.h"
 #include "ir/function.h"
 #include "sim/gpu_spec.h"
 
@@ -127,6 +128,19 @@ class LayoutEngine
     LinearLayout dotOperandLayout(const ir::TensorType &operandType,
                                   const ir::TensorType &accType,
                                   int opIdx, int operandBits) const;
+
+    /**
+     * Accept a cute (shape,stride) relayout — including non-pow2
+     * logical shapes the F2 entry points reject — with this engine's
+     * spec and warp configuration. The pow2 core routes through
+     * EngineOptions::planCache when one is configured (sharing interned
+     * layouts and cached ladder plans with ordinary conversions);
+     * malformed requests fail with DiagCode::InvalidInput, and nothing
+     * here answers InvalidInput merely for being non-pow2.
+     */
+    Result<cute::CutePlan> planCuteConversion(const cute::CuteLayout &src,
+                                              const cute::CuteLayout &dst,
+                                              int elemBytes) const;
 
   private:
     void assignForward(ir::Function &f, EngineStats &stats);

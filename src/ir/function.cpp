@@ -91,7 +91,12 @@ Function::newValue(TensorType type, int defOp, const std::string &name)
 {
     for (int32_t s : type.shape) {
         llUserCheck(isPowerOf2(static_cast<uint64_t>(s)),
-                    "tensor dims must be powers of two, got " << s);
+                    "tensor dims must be powers of two, got "
+                        << s
+                        << " (non-pow2 shapes are well-formed but need "
+                           "the cute admission path: "
+                           "cute::tryPlanCuteConversion / "
+                           "service::serveCuteConversion)");
     }
     Value v;
     v.id = numValues();

@@ -64,8 +64,12 @@ LinearLayout::validate(bool requireSurjective)
 {
     for (const auto &[name, size] : outDims_) {
         llUserCheck(isPowerOf2(static_cast<uint64_t>(size)),
-                    "output dim " << name << " size " << size
-                                  << " is not a power of two");
+                    "output dim "
+                        << name << " size " << size
+                        << " is not a power of two (LinearLayout is "
+                           "F2-only; non-pow2 extents are expressible "
+                           "as cute::CuteLayout and admitted via the "
+                           "cute bridge)");
     }
     for (const auto &[inDim, vecs] : bases_) {
         for (const auto &basis : vecs) {

@@ -10,6 +10,8 @@ toString(DiagCode code)
     switch (code) {
       case DiagCode::InvalidInput:
         return "invalid-input";
+      case DiagCode::NonPow2Bridgeable:
+        return "non-pow2-bridgeable";
       case DiagCode::ShuffleNotApplicable:
         return "shuffle-not-applicable";
       case DiagCode::ShuffleDegenerate:

@@ -27,6 +27,8 @@ namespace ll {
 enum class DiagCode
 {
     InvalidInput,            ///< caller precondition violated
+    NonPow2Bridgeable,       ///< well-formed but non-pow2: needs the
+                             ///< cute admission path, not a rejection
     ShuffleNotApplicable,    ///< conversion is not intra-warp/injective
     ShuffleDegenerate,       ///< exchange structure unprovable
     SwizzleBasisIncomplete,  ///< optimal-swizzle basis construction failed

@@ -147,9 +147,24 @@ BlockedEncoding
 BlockedEncoding::makeDefault(const Shape &shape, int numWarps, int warpSize,
                              int vecWidth)
 {
+    return makeDefaultWithOrder(shape, rowMajorOrder(
+                                           static_cast<int>(shape.size())),
+                                numWarps, warpSize, vecWidth);
+}
+
+BlockedEncoding
+BlockedEncoding::makeDefaultWithOrder(const Shape &shape,
+                                      const std::vector<int32_t> &order,
+                                      int numWarps, int warpSize,
+                                      int vecWidth)
+{
     const int rank = static_cast<int>(shape.size());
+    llUserCheck(static_cast<int>(order.size()) == rank,
+                "blocked order rank " << order.size()
+                                      << " mismatches shape rank "
+                                      << rank);
     BlockedEncoding enc;
-    enc.order = rowMajorOrder(rank);
+    enc.order = order;
     enc.sizePerThread.assign(rank, 1);
     enc.threadsPerWarp.assign(rank, 1);
     enc.warpsPerCta.assign(rank, 1);

@@ -59,6 +59,17 @@ struct BlockedEncoding
      */
     static BlockedEncoding makeDefault(const Shape &shape, int numWarps,
                                        int warpSize, int vecWidth = 1);
+
+    /**
+     * makeDefault with an explicit minor-to-major order instead of the
+     * row-major default. The cute admission pass uses this to align
+     * each side's anchor with its storage contiguity (dims sorted by
+     * stride, fastest first), so bridged conversions vectorize along
+     * the axis that is actually contiguous in memory.
+     */
+    static BlockedEncoding makeDefaultWithOrder(
+        const Shape &shape, const std::vector<int32_t> &order,
+        int numWarps, int warpSize, int vecWidth = 1);
 };
 
 /**

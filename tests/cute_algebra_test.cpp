@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Law suite for the CuTe layout algebra (src/cute/cute_layout.h).
+ *
+ * Every algebraic operation is proven against brute-force enumeration:
+ * exhaustively over a small layout space (all flat layouts with extents
+ * and strides drawn from small pools), and by seeded random sweeps over
+ * larger nested layouts. Operations declare divisibility preconditions
+ * by returning a Diagnostic; the laws here only bind on success, but
+ * each sweep also asserts a minimum success count so no law is
+ * vacuously true.
+ */
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/cute_check.h"
+#include "cute/cute_layout.h"
+#include "support/result.h"
+
+namespace ll {
+namespace cute {
+namespace {
+
+// Brute-force image of a layout as a vector indexed by flat index.
+std::vector<int64_t>
+imageOf(const CuteLayout &l)
+{
+    std::vector<int64_t> img(static_cast<size_t>(l.size()));
+    for (int64_t i = 0; i < l.size(); ++i)
+        img[static_cast<size_t>(i)] = l(i);
+    return img;
+}
+
+// All flat layouts with `rank` modes, extents and strides drawn from
+// the given pools. Small by construction: used for exhaustive law
+// checks.
+std::vector<CuteLayout>
+enumerateFlat(int rank, const std::vector<int64_t> &extents,
+              const std::vector<int64_t> &strides)
+{
+    std::vector<CuteLayout> out;
+    std::vector<int64_t> shape(static_cast<size_t>(rank)),
+        stride(static_cast<size_t>(rank));
+    // Odometer over (extent, stride) choices per mode.
+    size_t nCombo = extents.size() * strides.size();
+    std::vector<size_t> idx(static_cast<size_t>(rank), 0);
+    while (true) {
+        for (int m = 0; m < rank; ++m) {
+            shape[static_cast<size_t>(m)] =
+                extents[idx[static_cast<size_t>(m)] % extents.size()];
+            stride[static_cast<size_t>(m)] =
+                strides[idx[static_cast<size_t>(m)] / extents.size()];
+        }
+        out.push_back(CuteLayout::fromFlat(shape, stride));
+        int m = 0;
+        for (; m < rank; ++m) {
+            if (++idx[static_cast<size_t>(m)] < nCombo)
+                break;
+            idx[static_cast<size_t>(m)] = 0;
+        }
+        if (m == rank)
+            break;
+    }
+    return out;
+}
+
+// A random compact layout in a randomly permuted mode order: strides
+// are cumulative products, so modes occupy disjoint weight intervals —
+// the shape of a realistic tiler, and exactly what composition-based
+// ops admit.
+CuteLayout
+randomCompactPermuted(std::mt19937 &rng)
+{
+    int rank = 1 + static_cast<int>(rng() % 3);
+    std::vector<int64_t> extents(static_cast<size_t>(rank));
+    for (auto &e : extents)
+        e = 2 + static_cast<int64_t>(rng() % 4);
+    std::vector<size_t> order(static_cast<size_t>(rank));
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<int64_t> strides(static_cast<size_t>(rank));
+    int64_t acc = 1;
+    for (size_t i : order) {
+        strides[i] = acc;
+        acc *= extents[i];
+    }
+    return CuteLayout::fromFlat(extents, strides);
+}
+
+TEST(IntTupleTest, FlattenAndStringRoundTrip)
+{
+    IntTuple t{IntTuple{2, 3}, 5, IntTuple{IntTuple{4}, 7}};
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.flatRank(), 5);
+    EXPECT_EQ(t.product(), 2 * 3 * 5 * 4 * 7);
+    std::vector<int64_t> flat = t.flatten();
+    ASSERT_EQ(flat.size(), 5u);
+    EXPECT_EQ(flat[0], 2);
+    EXPECT_EQ(flat[4], 7);
+    IntTuple parsed = IntTuple::parse(t.toString());
+    EXPECT_TRUE(parsed.congruent(t));
+    EXPECT_EQ(parsed.toString(), t.toString());
+}
+
+TEST(CuteLayoutTest, EvaluationMatchesColexDecomposition)
+{
+    // ((2,2),3):((1,32),8): first flat leaf fastest.
+    CuteLayout l(IntTuple{IntTuple{2, 2}, 3},
+                 IntTuple{IntTuple{1, 32}, 8});
+    EXPECT_EQ(l.size(), 12);
+    EXPECT_EQ(l.toString(), "((2,2),3):((1,32),8)");
+    // i = 1 -> coord (1,0,0) -> 1. i = 2 -> (0,1,0) -> 32.
+    EXPECT_EQ(l(0), 0);
+    EXPECT_EQ(l(1), 1);
+    EXPECT_EQ(l(2), 32);
+    EXPECT_EQ(l(3), 33);
+    EXPECT_EQ(l(4), 8);
+    EXPECT_EQ(l(11), 1 + 32 + 16);
+    // cosize = (2-1)*1 + (2-1)*32 + (3-1)*8 + 1.
+    EXPECT_EQ(l.cosize(), 1 + 32 + 16 + 1);
+    // Explicit-coordinate evaluation agrees.
+    EXPECT_EQ(l.apply({1, 1, 2}), 1 + 32 + 16);
+    std::vector<int64_t> c = l.coordOf(7);
+    EXPECT_EQ(l.apply(c), l(7));
+}
+
+TEST(CuteLayoutTest, ParseRoundTrip)
+{
+    for (const char *text :
+         {"1:0", "8:1", "(3,5,7):(1,3,15)", "((2,2),3):((1,32),8)",
+          "(50257):(1)", "(100,12):(12,1)"}) {
+        CuteLayout l = CuteLayout::parse(text);
+        EXPECT_EQ(CuteLayout::parse(l.toString()), l) << text;
+        // Function preserved through the round trip, spot-checked.
+        CuteLayout r = CuteLayout::parse(l.toString());
+        for (int64_t i = 0; i < std::min<int64_t>(l.size(), 64); ++i)
+            EXPECT_EQ(l(i), r(i)) << text;
+    }
+    EXPECT_THROW(CuteLayout::parse("(2,3):(1)"), UserError);
+    EXPECT_THROW(CuteLayout::parse("nonsense"), UserError);
+}
+
+TEST(CuteLayoutTest, ConstructorRejectsMalformedTrees)
+{
+    EXPECT_THROW(CuteLayout(IntTuple{2, 3}, IntTuple{1}), UserError);
+    EXPECT_THROW(CuteLayout(IntTuple(0), IntTuple(1)), UserError);
+    EXPECT_NO_THROW(CuteLayout(IntTuple{2, 3}, IntTuple{0, 0}));
+}
+
+// ---------------------------------------------------------------------
+// coalesce: function-preserving and maximally merged.
+// ---------------------------------------------------------------------
+
+TEST(CuteAlgebraTest, CoalescePreservesFunctionExhaustive)
+{
+    std::vector<int64_t> extents = {1, 2, 3, 4};
+    std::vector<int64_t> strides = {0, 1, 2, 3, 4, 6};
+    for (int rank = 1; rank <= 2; ++rank) {
+        for (const CuteLayout &l :
+             enumerateFlat(rank, extents, strides)) {
+            CuteLayout c = coalesce(l);
+            ASSERT_EQ(c.size(), l.size()) << l.toString();
+            for (int64_t i = 0; i < l.size(); ++i)
+                ASSERT_EQ(c(i), l(i))
+                    << l.toString() << " -> " << c.toString();
+        }
+    }
+}
+
+TEST(CuteAlgebraTest, CoalesceIsMaximalAndIdempotent)
+{
+    std::mt19937 rng(2024);
+    check::CuteGenOptions opt;
+    for (int iter = 0; iter < 400; ++iter) {
+        CuteLayout l = check::randomCuteLayout(rng, opt);
+        CuteLayout c = coalesce(l);
+        EXPECT_EQ(coalesce(c), c) << l.toString();
+        // Maximality: depth-1, no size-1 mode (unless the whole layout
+        // is the unit), and no adjacent pair still merges.
+        const std::vector<int64_t> &s = c.flatShape();
+        const std::vector<int64_t> &d = c.flatStride();
+        EXPECT_LE(c.shape().depth(), 1) << c.toString();
+        for (size_t k = 0; k < s.size(); ++k) {
+            if (c.size() > 1) {
+                EXPECT_GT(s[k], 1) << c.toString();
+            }
+            if (k + 1 < s.size()) {
+                EXPECT_NE(d[k + 1], s[k] * d[k]) << c.toString();
+            }
+        }
+    }
+}
+
+TEST(CuteAlgebraTest, CoalesceMergesKnownChains)
+{
+    // (2,4):(1,2) is the compact 8:1.
+    CuteLayout merged = coalesce(CuteLayout::fromFlat({2, 4}, {1, 2}));
+    EXPECT_EQ(merged.toString(), "8:1");
+    // Size-1 modes vanish.
+    EXPECT_EQ(coalesce(CuteLayout::fromFlat({1, 6, 1}, {7, 5, 9}))
+                  .toString(),
+              "6:5");
+    // Everything size-1 collapses to the unit layout.
+    EXPECT_EQ(coalesce(CuteLayout::fromFlat({1, 1}, {3, 4})).size(), 1);
+}
+
+// ---------------------------------------------------------------------
+// composition: R(i) == A(B(i)).
+// ---------------------------------------------------------------------
+
+TEST(CuteAlgebraTest, CompositionLawExhaustive)
+{
+    std::vector<int64_t> extents = {1, 2, 3, 4};
+    std::vector<int64_t> strides = {0, 1, 2, 3, 4};
+    std::vector<CuteLayout> as = enumerateFlat(2, extents, strides);
+    std::vector<CuteLayout> bs = enumerateFlat(1, extents, strides);
+    int successes = 0;
+    for (const CuteLayout &a : as) {
+        for (const CuteLayout &b : bs) {
+            Result<CuteLayout> r = composition(a, b);
+            if (!r.ok())
+                continue;
+            ++successes;
+            ASSERT_EQ(r->size(), b.size())
+                << a.toString() << " o " << b.toString();
+            for (int64_t i = 0; i < b.size(); ++i)
+                ASSERT_EQ((*r)(i), a(b(i)))
+                    << a.toString() << " o " << b.toString() << " at "
+                    << i;
+        }
+    }
+    // The law must not be vacuous over this space.
+    EXPECT_GT(successes, 1000);
+}
+
+TEST(CuteAlgebraTest, CompositionLawRandomNested)
+{
+    std::mt19937 rng(77);
+    check::CuteGenOptions opt;
+    opt.maxElements = 1 << 10;
+    int successes = 0;
+    for (int iter = 0; iter < 3000; ++iter) {
+        CuteLayout a = check::randomCuteLayout(rng, opt);
+        CuteLayout b = check::randomCuteLayout(rng, opt);
+        Result<CuteLayout> r = composition(a, b);
+        if (!r.ok())
+            continue;
+        ++successes;
+        ASSERT_EQ(r->size(), b.size());
+        for (int64_t i = 0; i < b.size(); ++i)
+            ASSERT_EQ((*r)(i), a(b(i)))
+                << a.toString() << " o " << b.toString();
+        // The result keeps B's top-level rank, so B's modes stay
+        // addressable (leaves may split into nested chains).
+        EXPECT_EQ(r->rank(), b.rank());
+    }
+    EXPECT_GT(successes, 100);
+}
+
+TEST(CuteAlgebraTest, CompositionKnownExamples)
+{
+    // The worked example from Cecka's layout-algebra notes:
+    // (6,2):(8,2) o (4,3):(3,1) = ((2,2),3):((24,2),8).
+    CuteLayout a = CuteLayout::parse("(6,2):(8,2)");
+    CuteLayout b = CuteLayout::parse("(4,3):(3,1)");
+    Result<CuteLayout> r = composition(a, b);
+    ASSERT_TRUE(r.ok()) << r.diag().message;
+    EXPECT_EQ(r->toString(), "((2,2),3):((24,2),8)");
+    for (int64_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ((*r)(i), a(b(i)));
+    // Stride that does not factor through A's extents declines.
+    EXPECT_FALSE(
+        composition(CuteLayout::parse("(3,5):(1,3)"),
+                    CuteLayout::make1D(5, 2))
+            .ok());
+    // Reach beyond A's domain declines.
+    EXPECT_FALSE(
+        composition(CuteLayout::make1D(4), CuteLayout::make1D(3, 2))
+            .ok());
+}
+
+// ---------------------------------------------------------------------
+// complement: (A, A*) is a bijection onto [0, M).
+// ---------------------------------------------------------------------
+
+TEST(CuteAlgebraTest, ComplementBijectionExhaustive)
+{
+    std::vector<int64_t> extents = {1, 2, 3, 4};
+    std::vector<int64_t> strides = {0, 1, 2, 4, 8, 12};
+    std::vector<int64_t> codomains = {1, 2, 4, 8, 12, 16, 24, 48};
+    int successes = 0;
+    for (int rank = 1; rank <= 2; ++rank) {
+        for (const CuteLayout &a :
+             enumerateFlat(rank, extents, strides)) {
+            for (int64_t m : codomains) {
+                Result<CuteLayout> star = complement(a, m);
+                if (!star.ok())
+                    continue;
+                ++successes;
+                CuteLayout both = CuteLayout::concat({a, *star});
+                ASSERT_EQ(both.size(), m)
+                    << a.toString() << " complement wrt " << m;
+                std::set<int64_t> seen;
+                for (int64_t i = 0; i < both.size(); ++i) {
+                    int64_t v = both(i);
+                    ASSERT_GE(v, 0);
+                    ASSERT_LT(v, m) << a.toString() << " wrt " << m;
+                    ASSERT_TRUE(seen.insert(v).second)
+                        << a.toString() << " wrt " << m
+                        << ": duplicate offset " << v;
+                }
+            }
+        }
+    }
+    EXPECT_GT(successes, 200);
+}
+
+TEST(CuteAlgebraTest, ComplementDeclinesNonTilingLayouts)
+{
+    // Zero stride => non-injective.
+    EXPECT_FALSE(complement(CuteLayout::make1D(2, 0), 8).ok());
+    // Codomain not divisible by the tile.
+    EXPECT_FALSE(complement(CuteLayout::make1D(2, 1), 7).ok());
+    // Overlapping strides cannot tile.
+    EXPECT_FALSE(
+        complement(CuteLayout::fromFlat({2, 2}, {1, 1}), 16).ok());
+    // Known value: complement of 2:4 wrt 16 restores the gaps.
+    Result<CuteLayout> star = complement(CuteLayout::make1D(2, 4), 16);
+    ASSERT_TRUE(star.ok());
+    EXPECT_EQ(star->size(), 8);
+}
+
+// ---------------------------------------------------------------------
+// logicalDivide: a domain permutation whose mode 0 is one tile.
+// ---------------------------------------------------------------------
+
+TEST(CuteAlgebraTest, DivideIsDomainPermutationWithTileMode)
+{
+    std::mt19937 rng(4242);
+    check::CuteGenOptions opt;
+    opt.maxElements = 1 << 9;
+    opt.allowZeroStride = false;
+    int successes = 0;
+    for (int iter = 0; iter < 8000; ++iter) {
+        CuteLayout a = check::randomCuteLayout(rng, opt);
+        CuteLayout t = check::randomCuteLayout(rng, opt);
+        Result<CuteLayout> d = logicalDivide(a, t);
+        if (!d.ok())
+            continue;
+        ++successes;
+        // Image multiset preserved: the division only reorders A's
+        // domain.
+        std::vector<int64_t> before = imageOf(a);
+        std::vector<int64_t> after = imageOf(*d);
+        ASSERT_EQ(before.size(), after.size())
+            << a.toString() << " / " << t.toString();
+        std::sort(before.begin(), before.end());
+        std::sort(after.begin(), after.end());
+        ASSERT_EQ(before, after)
+            << a.toString() << " / " << t.toString();
+        // Mode 0 walks one tile: equals composition(A, T) pointwise.
+        Result<CuteLayout> tile = composition(a, t);
+        ASSERT_TRUE(tile.ok())
+            << a.toString() << " / " << t.toString();
+        CuteLayout m0 = d->mode(0);
+        ASSERT_EQ(m0.size(), tile->size());
+        for (int64_t i = 0; i < m0.size(); ++i)
+            ASSERT_EQ(m0(i), (*tile)(i))
+                << a.toString() << " / " << t.toString();
+    }
+    EXPECT_GT(successes, 200);
+}
+
+TEST(CuteAlgebraTest, DivideKnownExample)
+{
+    // Divide a 24-vector into 6 tiles of 4.
+    Result<CuteLayout> d =
+        logicalDivide(CuteLayout::make1D(24), CuteLayout::make1D(4));
+    ASSERT_TRUE(d.ok()) << d.diag().message;
+    EXPECT_EQ(d->size(), 24);
+    EXPECT_EQ(d->rank(), 2);
+    // (i, j) -> j * 4 + i: tile-local fastest.
+    EXPECT_EQ((*d)(1), 1);
+    EXPECT_EQ((*d)(4), 4);
+    EXPECT_EQ((*d)(5), 5);
+}
+
+// ---------------------------------------------------------------------
+// logicalProduct: mode 0 is A; replicas are disjoint translates.
+// ---------------------------------------------------------------------
+
+TEST(CuteAlgebraTest, ProductReplicatesDisjointTranslates)
+{
+    std::mt19937 rng(9090);
+    check::CuteGenOptions opt;
+    opt.maxElements = 1 << 8;
+    opt.allowZeroStride = false;
+    int successes = 0;
+    for (int iter = 0; iter < 4000; ++iter) {
+        CuteLayout a = check::randomCuteLayout(rng, opt);
+        // Alternate realistic tilers with fully random layouts (the
+        // latter mostly decline; the former keep the law non-vacuous).
+        CuteLayout b = (iter & 1) ? randomCompactPermuted(rng)
+                                  : check::randomCuteLayout(rng, opt);
+        if (a.size() * b.size() > (int64_t(1) << 12))
+            continue;
+        Result<CuteLayout> p = logicalProduct(a, b);
+        if (!p.ok())
+            continue;
+        ++successes;
+        ASSERT_EQ(p->size(), a.size() * b.size())
+            << a.toString() << " x " << b.toString();
+        // Mode 0 is A: replica 0 evaluates exactly as A.
+        for (int64_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ((*p)(i), a(i))
+                << a.toString() << " x " << b.toString();
+        // Disjointness of replicas is promised only for injective B
+        // (a non-injective B legitimately repeats tiles).
+        std::vector<int64_t> bImage = imageOf(b);
+        std::sort(bImage.begin(), bImage.end());
+        bool bInjective = std::adjacent_find(bImage.begin(),
+                                             bImage.end()) ==
+                          bImage.end();
+        // Replica j is A's image translated by a per-replica constant;
+        // for injective B, distinct replicas never collide.
+        std::set<int64_t> used;
+        for (int64_t j = 0; j < b.size(); ++j) {
+            int64_t base = (*p)(j * a.size());
+            for (int64_t i = 0; i < a.size(); ++i) {
+                int64_t v = (*p)(j * a.size() + i);
+                ASSERT_EQ(v, base + a(i))
+                    << a.toString() << " x " << b.toString()
+                    << " replica " << j;
+                if (bInjective) {
+                    ASSERT_TRUE(used.insert(v).second)
+                        << a.toString() << " x " << b.toString()
+                        << ": replicas collide at offset " << v;
+                }
+            }
+        }
+    }
+    EXPECT_GT(successes, 100);
+}
+
+TEST(CuteAlgebraTest, DivideInvertsProductForCompactTiles)
+{
+    // For a compact 1-D tile A, dividing the product by A recovers the
+    // product's index map unchanged (the re-partition is the identity
+    // on flat indices), with mode 0 equal to A.
+    std::mt19937 rng(515);
+    check::CuteGenOptions opt;
+    opt.maxElements = 1 << 8;
+    opt.allowZeroStride = false;
+    int successes = 0;
+    for (int iter = 0; iter < 1500; ++iter) {
+        int64_t c = 1 + static_cast<int64_t>(rng() % 8);
+        CuteLayout a = CuteLayout::make1D(c);
+        CuteLayout b = (iter & 1) ? randomCompactPermuted(rng)
+                                  : check::randomCuteLayout(rng, opt);
+        Result<CuteLayout> p = logicalProduct(a, b);
+        if (!p.ok())
+            continue;
+        Result<CuteLayout> d = logicalDivide(*p, a);
+        if (!d.ok())
+            continue;
+        ++successes;
+        ASSERT_EQ(d->size(), p->size());
+        for (int64_t i = 0; i < p->size(); ++i)
+            ASSERT_EQ((*d)(i), (*p)(i))
+                << a.toString() << " x " << b.toString();
+        CuteLayout m0 = d->mode(0);
+        for (int64_t i = 0; i < c; ++i)
+            ASSERT_EQ(m0(i), a(i));
+    }
+    EXPECT_GT(successes, 100);
+}
+
+} // namespace
+} // namespace cute
+} // namespace ll

@@ -54,6 +54,17 @@
  * refmode::Scoped reference paths) and any divergence in describePlan
  * output or enumerated wavefront totals fails the run and is shrunk to
  * a minimal reproducer.
+ *
+ * --diff-cute fuzzes the CuteLayout bridge and the non-pow2 admission
+ * path. Each iteration (a) generates a random nested (shape,stride)
+ * layout and checks the bridge differentially — a linearizable layout
+ * must evaluate identically through LinearLayout::applyFlat and
+ * round-trip fromLinear -> toLinear bit-for-bit, and every rejected
+ * pow2-extent layout must carry an explicit XOR-linearity witness —
+ * and (b) generates a random well-formed conversion request, plans it
+ * with cute::tryPlanCuteConversion, executes it, and audits it against
+ * the tagged-buffer oracle. Failures shrink to a minimal layout or a
+ * minimal `.cute` reproducer.
  */
 
 #include <cstring>
@@ -64,11 +75,13 @@
 #include <string>
 
 #include "check/case_io.h"
+#include "check/cute_check.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
 #include "codegen/conversion.h"
 #include "codegen/gather.h"
 #include "codegen/swizzle.h"
+#include "cute/bridge.h"
 #include "service/admission.h"
 #include "service/compile_service.h"
 #include "service/singleflight.h"
@@ -91,6 +104,7 @@ struct Options
     bool failpointCoverage = false;
     bool failpointPairs = false;
     bool diffF2 = false;
+    bool diffCute = false;
     bool verbose = false;
 };
 
@@ -102,7 +116,7 @@ usage()
            "              [--emit-corpus DIR] [--replay FILE]\n"
            "              [--inject-bug] [--failpoint-rate P]\n"
            "              [--failpoint-coverage] [--failpoint-pairs]\n"
-           "              [--diff-f2] [--verbose]\n";
+           "              [--diff-f2] [--diff-cute] [--verbose]\n";
 }
 
 bool
@@ -150,6 +164,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.failpointPairs = true;
         } else if (arg == "--diff-f2") {
             opt.diffF2 = true;
+        } else if (arg == "--diff-cute") {
+            opt.diffCute = true;
         } else if (arg == "--failpoint-rate") {
             const char *v = needValue("--failpoint-rate");
             if (!v)
@@ -806,6 +822,136 @@ runDiffF2(const Options &opt)
     return 0;
 }
 
+/**
+ * --diff-cute: differential fuzzing of the CuteLayout bridge and the
+ * non-pow2 admission pass. Bridge-level divergences shrink with the
+ * layout shrinker; admission-level failures shrink to a minimal
+ * `.cute` reproducer printed in the corpus format.
+ */
+int
+runDiffCute(const Options &opt)
+{
+    // One string describing what (if anything) the bridge gets wrong
+    // on this layout; empty = clean. Doubles as the shrink predicate.
+    auto bridgeDivergence =
+        [](const cute::CuteLayout &l) -> std::string {
+        bool pow2 = true;
+        for (int64_t e : l.flatShape())
+            pow2 = pow2 && (e & (e - 1)) == 0;
+        if (cute::isLinearizable(l)) {
+            auto lin = cute::toLinear(l);
+            if (!lin.ok()) {
+                return "accepted by isLinearizable but toLinear "
+                       "failed: " +
+                       lin.diag().toString();
+            }
+            for (int64_t i = 0; i < l.size(); ++i) {
+                if (static_cast<uint64_t>(l(i)) !=
+                    lin->applyFlat(static_cast<uint64_t>(i))) {
+                    return "integer vs F2 evaluation diverged at " +
+                           std::to_string(i);
+                }
+            }
+            auto back = cute::fromLinear(*lin);
+            if (!back.ok())
+                return "bridged layout not delinearizable: " +
+                       back.diag().toString();
+            auto again = cute::toLinear(*back);
+            if (!again.ok() || !(*again == *lin))
+                return "fromLinear -> toLinear not bit-identical";
+        } else if (pow2) {
+            auto [x, y] = cute::linearityWitness(l);
+            if (x < 0 || y < 0)
+                return "rejected pow2-extent layout has no witness";
+            if (x >= l.size() || y >= l.size())
+                return "witness indices out of range";
+            if (l(x ^ y) == (l(x) ^ l(y)))
+                return "witness does not witness: L(x^y) == L(x)^L(y)";
+        } else {
+            auto [x, y] = cute::linearityWitness(l);
+            if (x != -1 || y != -1)
+                return "non-pow2 layout fabricated an XOR witness";
+            if (cute::toLinear(l).ok())
+                return "toLinear accepted a non-pow2 layout";
+        }
+        return "";
+    };
+
+    std::mt19937 rng(opt.seed);
+    check::CuteGenOptions gen;
+    int linearizable = 0, witnessed = 0, decomposed = 0, bridged = 0;
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        // (a) Bridge level.
+        cute::CuteLayout layout = check::randomCuteLayout(rng, gen);
+        std::string diverged = bridgeDivergence(layout);
+        if (!diverged.empty()) {
+            std::cerr << "BRIDGE DIVERGENCE on " << layout.toString()
+                      << ": " << diverged << "\n";
+            cute::CuteLayout minimal = check::shrinkCuteLayout(
+                layout, [&](const cute::CuteLayout &cand) {
+                    return !bridgeDivergence(cand).empty();
+                });
+            std::cerr << "shrunk reproducer: " << minimal.toString()
+                      << "\n  " << bridgeDivergence(minimal) << "\n";
+            return 1;
+        }
+        if (cute::isLinearizable(layout))
+            ++linearizable;
+        else if (cute::linearityWitness(layout).first >= 0)
+            ++witnessed;
+
+        // (b) Admission level.
+        check::CuteCase c = check::randomCuteCase(rng, gen);
+        check::CuteOracleReport report;
+        std::string exception;
+        try {
+            report = check::checkCuteCase(c);
+        } catch (const std::exception &e) {
+            exception = e.what();
+        }
+        if (exception.empty() && report.ok()) {
+            if (report.remainderElems > 0)
+                ++decomposed;
+            else
+                ++bridged;
+            if (opt.verbose) {
+                std::cout << "[" << iter << "] " << c.summary << ": "
+                          << report.toString() << "\n";
+            }
+            continue;
+        }
+        std::cerr << "ADMISSION FAILURE on " << c.summary << "\n  src "
+                  << c.request.src.toString() << "\n  dst "
+                  << c.request.dst.toString() << "\n  "
+                  << (exception.empty() ? report.toString()
+                                        : "exception: " + exception)
+                  << "\n";
+        check::CuteShrinkResult shrunk = check::shrinkCuteCase(
+            c, [](const check::CuteCase &cand) {
+                return check::checkCuteCase(cand);
+            });
+        std::cerr << "shrunk reproducer (" << shrunk.steps
+                  << " steps):\n";
+        check::writeCuteCase(std::cerr, shrunk.minimized);
+        if (!shrunk.exceptionMessage.empty())
+            std::cerr << "  exception: " << shrunk.exceptionMessage
+                      << "\n";
+        else
+            std::cerr << "  " << shrunk.report.toString() << "\n";
+        return 1;
+    }
+
+    std::cout << "llfuzz --diff-cute: " << opt.iters
+              << " layouts bridged and cases admitted, no divergence "
+                 "(seed "
+              << opt.seed << ")\n"
+              << "  bridge: " << linearizable << " linearizable, "
+              << witnessed << " rejected-with-witness\n"
+              << "  admission: " << decomposed << " decomposed, "
+              << bridged << " pure-bridge\n";
+    return 0;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -828,6 +974,9 @@ main(int argc, char **argv)
 
     if (opt.diffF2)
         return runDiffF2(opt);
+
+    if (opt.diffCute)
+        return runDiffCute(opt);
 
     if (!opt.replayFile.empty()) {
         check::ConversionCase c;

@@ -317,7 +317,10 @@ buildCorpusRequests(const std::string &dir,
     std::error_code ec;
     for (const auto &entry :
          std::filesystem::directory_iterator(dir, ec)) {
-        if (entry.is_regular_file())
+        // Only .txt files hold linear conversion cases; the corpus
+        // dir also carries .cute seeds in the cute layout format.
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".txt")
             files.push_back(entry.path().string());
     }
     if (ec) {
