@@ -23,6 +23,7 @@
 #include "codegen/swizzle.h"
 #include "layout/linear_layout.h"
 #include "sim/gpu_spec.h"
+#include "support/ledger.h"
 #include "support/metrics.h"
 #include "triton/encodings.h"
 
@@ -101,6 +102,14 @@ percentileMs(std::vector<double> samples, double p)
  *
  * The schema here is a contract: llstat --validate-bench-json (and the
  * bench_json_smoke ctest entry) reject reports that drift from it.
+ *
+ * The run also carves a per-bench calibration ledger: recording is
+ * enabled for the reps and the records flush to LEDGER_<name>.jsonl
+ * next to the BENCH json, pairing every report's wall times with the
+ * predicted-vs-measured rung corpus that produced them (llprof ingests
+ * the pair). The ledger is cleared before and after, so each bench
+ * attributes exactly its own conversions and the prior enabled state
+ * is restored.
  */
 inline void
 emitBenchJson(const std::string &name, const std::function<void()> &fn)
@@ -108,6 +117,10 @@ emitBenchJson(const std::string &name, const std::function<void()> &fn)
     int reps = 5;
     if (const char *env = std::getenv("LL_BENCH_REPS"))
         reps = std::max(1, std::atoi(env));
+
+    const bool ledgerWasEnabled = ledger::enabled();
+    ledger::Ledger::instance().clear();
+    ledger::Ledger::instance().setEnabled(true);
 
     auto before = metrics::Registry::instance().counterSnapshot();
     std::vector<double> wallMs;
@@ -136,14 +149,33 @@ emitBenchJson(const std::string &name, const std::function<void()> &fn)
     }
     auto after = metrics::Registry::instance().counterSnapshot();
 
+    std::string dir = ".";
+    if (const char *env = std::getenv("LL_BENCH_JSON_DIR"))
+        dir = env;
+
+    auto &ledger = ledger::Ledger::instance();
+    ledger.setEnabled(ledgerWasEnabled);
+    if (ledger.recordCount() > 0) {
+        const std::string ledgerPath =
+            dir + "/LEDGER_" + name + ".jsonl";
+        std::ofstream los(ledgerPath);
+        if (los.good()) {
+            ledger.writeJsonl(los);
+            std::printf("bench: wrote %s (%lld record(s))\n",
+                        ledgerPath.c_str(),
+                        static_cast<long long>(ledger.recordCount()));
+        } else {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         ledgerPath.c_str());
+        }
+    }
+    ledger.clear();
+
     double mean = 0.0;
     for (double w : wallMs)
         mean += w;
     mean /= static_cast<double>(wallMs.size());
 
-    std::string dir = ".";
-    if (const char *env = std::getenv("LL_BENCH_JSON_DIR"))
-        dir = env;
     const std::string path = dir + "/BENCH_" + name + ".json";
     std::ofstream os(path);
     if (!os.good()) {

@@ -11,6 +11,7 @@
 #include "support/bits.h"
 #include "support/deadline.h"
 #include "support/failpoint.h"
+#include "support/ledger.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -424,6 +425,54 @@ enum Rung : int {
     kRungSharedPadded = 5,
     kRungSharedScalar = 6,
 };
+
+/** Span-taxonomy rung name for a ladder position (the ledger's
+ *  start_rung/rung vocabulary). */
+const char *
+rungName(int rung)
+{
+    switch (rung) {
+      case kRungNoOp:
+        return "noop";
+      case kRungRegisterPermute:
+        return "register-permute";
+      case kRungWarpShuffle:
+        return "warp-shuffle";
+      case kRungSharedMemory:
+        return "shared-memory";
+      case kRungSharedPadded:
+        return "shared-padded";
+      case kRungSharedScalar:
+        return "shared-scalar";
+    }
+    return "unknown";
+}
+
+/**
+ * Feed the prediction-error family: selection cost vs the cost the
+ * measured wavefront totals imply, for plans that carry a measurement
+ * (the shared kinds). The exponential buckets cover 1/8x..128x around
+ * a perfectly priced ratio of 1; observations land in
+ * EngineStats::metrics like every other plan.calib.* counter.
+ */
+void
+observeCalibration(const ConversionPlan &plan, const LinearLayout &src,
+                   int elemBytes, const sim::GpuSpec &spec)
+{
+    if (!plan.shared.has_value())
+        return;
+    const double measured = plan.reportingCycles(src, elemBytes, spec);
+    if (measured <= 0.0)
+        return;
+    const double predicted = plan.estimateCycles(src, elemBytes, spec);
+    static auto &ratio = metrics::Registry::instance().histogram(
+        "plan.calib.error_ratio",
+        metrics::exponentialBounds(0.125, 2.0, 11));
+    ratio.observe(predicted / measured);
+    static auto &observations =
+        metrics::counter("plan.calib.observations");
+    observations.inc();
+}
 } // namespace
 
 static Result<ConversionPlan>
@@ -469,6 +518,63 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
         return true;
     };
 
+    // Plan-provenance ledger (support/ledger.h): when recording is on,
+    // every rung evaluated below appends a CalibrationRecord — the
+    // predicted-vs-measured corpus the profile-guided cost model trains
+    // on. beginConversion() deduplicates per (inputs, startRung) and
+    // refuses while failpoints are active, so records are attributed
+    // exactly once per planned conversion and fuzzing never pollutes
+    // the corpus. Records carry no timestamps or sequence numbers: a
+    // record is a pure function of the conversion inputs, which is what
+    // makes sorted ledgers byte-identical across thread counts.
+    ledger::CalibrationRecord proto;
+    bool ledgerLive = false;
+    if (ledger::enabled()) {
+        proto.srcHash = src.structuralHash();
+        proto.dstHash = dst.structuralHash();
+        proto.specId = spec.fingerprint();
+        proto.elemBytes = elemBytes;
+        proto.startRung = rungName(startRung);
+        proto.demoted = startRung != kRungNoOp;
+        ledgerLive = ledger::Ledger::instance().beginConversion(
+            proto.srcHash, proto.dstHash, elemBytes, proto.specId,
+            proto.startRung);
+    }
+    auto recordRung = [&](const char *rung, bool accept,
+                          const std::string &reason, bool terminal,
+                          const ConversionPlan *accepted) {
+        if (!ledgerLive)
+            return;
+        ledger::CalibrationRecord r = proto;
+        r.rung = rung;
+        r.outcome = accept ? "accept" : "reject";
+        r.reason = reason;
+        r.terminal = terminal;
+        r.deadlineShaped = deadlineDemoted;
+        if (accepted != nullptr) {
+            r.predictedCycles =
+                accepted->estimateCycles(src, elemBytes, spec);
+            r.measuredCycles =
+                accepted->reportingCycles(src, elemBytes, spec);
+            r.storeWavefronts = accepted->storeWavefrontsTotal;
+            r.loadWavefronts = accepted->loadWavefrontsTotal;
+            if (accepted->shared) {
+                r.windowElems = accepted->shared->windowElems;
+                r.padInterval = accepted->shared->padInterval;
+                r.padElems = accepted->shared->padElems;
+                r.vecBits = accepted->shared->vecBits;
+            } else if (accepted->shuffle) {
+                r.vecBits = static_cast<int>(log2Exact(
+                    static_cast<uint64_t>(accepted->shuffle->vecElems)));
+            }
+        }
+        ledger::Ledger::instance().append(std::move(r));
+    };
+    auto lastNote = [&notes]() -> std::string {
+        return notes.empty() ? std::string()
+                             : notes.notes.back().toString();
+    };
+
     // Each rung gets its own span so a trace shows where planning time
     // went and why the ladder stepped down (see DESIGN.md
     // "Observability" for the taxonomy).
@@ -489,9 +595,11 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
             rung.arg("outcome", "accept");
             rung.arg("cycles", 0.0);
             plan.kind = ConversionKind::NoOp;
+            recordRung("noop", true, "", true, &plan);
             return plan;
         }
         rejectRung(rung);
+        recordRung("noop", false, "", false, nullptr);
     }
 
     // Rung 2: data stays within each thread.
@@ -507,9 +615,11 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
             if (rung.active())
                 rung.arg("cycles",
                          plan.estimateCycles(src, elemBytes, spec));
+            recordRung("register-permute", true, "", true, &plan);
             return plan;
         }
         rejectRung(rung);
+        recordRung("register-permute", false, "", false, nullptr);
     }
 
     // Rung 3: data stays within each warp.
@@ -527,6 +637,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
                 if (rung.active())
                     rung.arg("cycles",
                              plan.estimateCycles(src, elemBytes, spec));
+                recordRung("warp-shuffle", true, "", true, &plan);
                 return plan;
             }
             // Not-applicable is the ordinary road to shared memory;
@@ -537,6 +648,8 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
                 rung.arg("outcome", "reject");
                 rung.arg("reason", shuffle.diag().toString());
             }
+            recordRung("warp-shuffle", false,
+                       shuffle.diag().toString(), false, nullptr);
         } else {
             rejectRung(rung);
         }
@@ -646,14 +759,24 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
         rung4.arg("candidates",
                   static_cast<int64_t>(candidates.size()));
         rung4.arg("outcome", haveBest ? "accept" : "reject");
-        if (haveBest)
+        if (haveBest) {
             rung4.arg("cycles", bestCost);
-        else if (!notes.empty())
+            // Measured side next to the prediction, so traces and the
+            // calibration ledger agree on both halves of the split.
+            rung4.arg("store_wavefronts", best.storeWavefrontsTotal);
+            rung4.arg("load_wavefronts", best.loadWavefrontsTotal);
+            rung4.arg("measured_cycles",
+                      best.reportingCycles(src, elemBytes, spec));
+        } else if (!notes.empty()) {
             rung4.arg("reason", notes.notes.back().toString());
+        }
     }
     rung4.finish();
-    if (haveBest)
+    if (haveBest) {
+        recordRung("shared-memory", true, "", true, &best);
         return best;
+    }
+    recordRung("shared-memory", false, lastNote(), false, nullptr);
     } // startRung <= kRungSharedMemory
 
     // Rung 5: unswizzled shared memory with bank-offset padding.
@@ -676,9 +799,18 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
                     ConversionPlan trial = std::move(*evaluated);
                     trial.kind = ConversionKind::SharedPadded;
                     rung.arg("outcome", "accept");
-                    if (rung.active())
+                    if (rung.active()) {
                         rung.arg("cycles", trial.estimateCycles(
                                                src, elemBytes, spec));
+                        rung.arg("store_wavefronts",
+                                 trial.storeWavefrontsTotal);
+                        rung.arg("load_wavefronts",
+                                 trial.loadWavefrontsTotal);
+                        rung.arg("measured_cycles",
+                                 trial.reportingCycles(src, elemBytes,
+                                                       spec));
+                    }
+                    recordRung("shared-padded", true, "", true, &trial);
                     return trial;
                 }
                 notes.note(evaluated.diag());
@@ -691,6 +823,7 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
             notes.note(padded.diag());
         }
         rejectRung(rung);
+        recordRung("shared-padded", false, lastNote(), false, nullptr);
     }
 
     // Rung 6: element-wise scalar round trip — the terminal rung,
@@ -710,9 +843,18 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
                     ConversionPlan trial = std::move(*evaluated);
                     trial.kind = ConversionKind::SharedScalar;
                     rung.arg("outcome", "accept");
-                    if (rung.active())
+                    if (rung.active()) {
                         rung.arg("cycles", trial.estimateCycles(
                                                src, elemBytes, spec));
+                        rung.arg("store_wavefronts",
+                                 trial.storeWavefrontsTotal);
+                        rung.arg("load_wavefronts",
+                                 trial.loadWavefrontsTotal);
+                        rung.arg("measured_cycles",
+                                 trial.reportingCycles(src, elemBytes,
+                                                       spec));
+                    }
+                    recordRung("shared-scalar", true, "", true, &trial);
                     return trial;
                 }
                 notes.note(evaluated.diag());
@@ -727,6 +869,12 @@ tryPlanConversionImpl(const LinearLayout &src, const LinearLayout &dst,
         rejectRung(rung);
     }
 
+    // The whole ladder failed (only reachable by injection). The
+    // terminal reject record keeps the ledger's one-terminal-per-
+    // conversion invariant; in practice ledgerLive is false here, since
+    // total failure needs active failpoints and beginConversion refuses
+    // under them.
+    recordRung("shared-scalar", false, notes.toString(), true, nullptr);
     return makeDiag(DiagCode::PlannerInternalError, "plan",
                     "every rung of the fallback ladder failed: " +
                         notes.toString());
@@ -749,9 +897,13 @@ tryPlanConversion(const LinearLayout &src, const LinearLayout &dst,
         static auto &cyclesHist = metrics::Registry::instance().histogram(
             "plan.cycles", {1.0, 10.0, 100.0, 1000.0, 10000.0});
         cyclesHist.observe(cycles);
+        observeCalibration(*result, src, elemBytes, spec);
         if (span.active()) {
             span.arg("kind", toString(result->kind));
             span.arg("cycles", cycles);
+            if (result->shared.has_value())
+                span.arg("measured_cycles",
+                         result->reportingCycles(src, elemBytes, spec));
             span.arg("rungs_rejected",
                      static_cast<int64_t>(result->diagnostics.notes.size()));
         }
@@ -809,6 +961,8 @@ tryReplanBelow(ConversionKind failed, const LinearLayout &src,
     replans.inc();
     auto result =
         tryPlanConversionImpl(src, dst, elemBytes, spec, startRung);
+    if (result.ok())
+        observeCalibration(*result, src, elemBytes, spec);
     if (span.active()) {
         span.arg("below", toString(failed));
         span.arg("outcome",
@@ -891,6 +1045,23 @@ ConversionPlan::estimateCycles(const LinearLayout &src, int elemBytes,
       }
     }
     return 0.0;
+}
+
+double
+ConversionPlan::reportingCycles(const LinearLayout &src, int elemBytes,
+                                const sim::GpuSpec &spec) const
+{
+    if (!shared.has_value())
+        return estimateCycles(src, elemBytes, spec);
+    const int numWarpsSrc =
+        src.hasInDim(dims::kWarp) ? src.getInDimSize(dims::kWarp) : 1;
+    const double storeCycles = static_cast<double>(storeWavefrontsTotal) /
+                               numWarpsSrc * spec.sharedWavefrontCycles;
+    const double loadCycles = static_cast<double>(loadWavefrontsTotal) /
+                              numWarpsSrc * spec.sharedWavefrontCycles;
+    const double passes =
+        static_cast<double>(shared->passesFor(src.getTotalOutDimSize()));
+    return storeCycles + loadCycles + passes * spec.sharedRoundTripCycles;
 }
 
 } // namespace codegen

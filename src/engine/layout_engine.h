@@ -101,7 +101,13 @@ struct EngineStats
     /** Per-run delta of every registry counter that moved during this
      *  run (metrics::Registry names — see DESIGN.md "Observability").
      *  The int fields above are mirrors of the engine.* entries here;
-     *  they keep working unchanged. */
+     *  they keep working unchanged. When the calibration ledger is
+     *  recording (LL_LEDGER), the plan.calib.* family appears here too:
+     *  records / terminal_records / conversions / dedup_skips /
+     *  observations counter deltas, surfacing per-run ledger activity
+     *  without the caller touching ledger::Ledger (DESIGN.md §16; the
+     *  plan.calib.error_ratio histogram lives in the registry's
+     *  exposition, histograms are not delta-snapshotted). */
     std::map<std::string, int64_t> metrics;
 };
 

@@ -34,6 +34,7 @@
 #include "service/plan_cache.h"
 #include "service/singleflight.h"
 #include "support/failpoint.h"
+#include "support/ledger.h"
 
 namespace ll {
 namespace {
@@ -588,6 +589,56 @@ TEST_F(ServiceTest, BatchDriverAggregatesExactlyThePerResponseStats)
     auto cs = cache.stats();
     EXPECT_GE(cs.lookups(),
               static_cast<int64_t>(2 * corpus().size()));
+}
+
+TEST_F(ServiceTest, LedgerAttributesEachConversionOnceAcrossThreads)
+{
+    // The calibration ledger's service-side attribution contract:
+    // a coalesced 8-thread run over a repeated stream — where
+    // singleflight leaders are the only planners and repeat passes are
+    // served from the cache — must record each distinct conversion
+    // exactly once, and the sorted export must match a plain
+    // single-threaded planner replay byte for byte.
+    auto &ledger = ledger::Ledger::instance();
+    ledger.clear();
+    ledger.setEnabled(true);
+    std::vector<std::string> direct;
+    for (const auto &c : corpus()) {
+        auto spec = c.spec();
+        auto plan =
+            codegen::tryPlanConversion(c.src, c.dst, c.elemBytes, spec);
+        ASSERT_TRUE(plan.ok());
+    }
+    direct = ledger.sortedLines();
+    ledger.clear();
+
+    service::PlanCache cache;
+    std::vector<service::CompileRequest> requests;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (const auto &c : corpus()) {
+            auto conv = std::make_shared<service::ConversionRequest>();
+            conv->src = c.src;
+            conv->dst = c.dst;
+            conv->elemBytes = c.elemBytes;
+            conv->spec = c.spec();
+            service::CompileRequest req;
+            req.name = c.summary;
+            req.conversion = std::move(conv);
+            requests.push_back(std::move(req));
+        }
+    }
+    service::CompileService::Options options;
+    options.threads = 8;
+    options.cache = &cache;
+    service::CompileService svc{options};
+    auto report = svc.run(requests);
+    ledger.setEnabled(false);
+    EXPECT_EQ(report.failures, 0);
+
+    EXPECT_EQ(ledger.conversionCount(),
+              static_cast<int64_t>(corpus().size()));
+    EXPECT_EQ(ledger.sortedLines(), direct);
+    ledger.clear();
 }
 
 } // namespace

@@ -446,6 +446,66 @@ TEST(Metrics, PrometheusTextExpositionIsCumulativeAndSanitized)
         << text;
 }
 
+TEST(Metrics, ExponentialBoundsAreGeometric)
+{
+    // The plan.calib.error_ratio family: 1/8x .. 128x in factor-2 steps.
+    auto bounds = metrics::exponentialBounds(0.125, 2.0, 11);
+    ASSERT_EQ(bounds.size(), 11u);
+    EXPECT_DOUBLE_EQ(bounds.front(), 0.125);
+    EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+    EXPECT_DOUBLE_EQ(bounds.back(), 128.0);
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(Metrics, ExponentialHistogramExposesInBothFormats)
+{
+    auto &h = metrics::Registry::instance().histogram(
+        "test.expo_ratio_hist",
+        metrics::exponentialBounds(0.125, 2.0, 11));
+    h.reset();
+    h.observe(1.0);  // exactly on the le="1" bound — inclusive
+    h.observe(0.01); // underflows into the first bucket
+    h.observe(3.0);  // le="4"
+    h.observe(500.0); // overflows past 128 into +Inf
+
+    std::ostringstream os;
+    metrics::Registry::instance().writeText(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("ll_test_expo_ratio_hist_bucket{le=\"0.125\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("ll_test_expo_ratio_hist_bucket{le=\"1\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("ll_test_expo_ratio_hist_bucket{le=\"4\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("ll_test_expo_ratio_hist_bucket{le=\"128\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("ll_test_expo_ratio_hist_bucket{le=\"+Inf\"} 4"),
+              std::string::npos)
+        << text;
+
+    std::ostringstream js;
+    metrics::Registry::instance().writeJson(js);
+    auto parsed = jsonlite::parse(js.str());
+    ASSERT_TRUE(parsed.has_value()) << js.str();
+    const auto *hist =
+        parsed->find("histograms")->find("test.expo_ratio_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("count")->number, 4.0);
+    const auto *buckets = hist->find("buckets");
+    ASSERT_TRUE(buckets->isArray());
+    ASSERT_EQ(buckets->items.size(), 12u); // 11 bounds + overflow
+    EXPECT_DOUBLE_EQ(buckets->items.front().find("le")->number, 0.125);
+    // JSON buckets are per-bucket (not cumulative): the +Inf terminal
+    // holds only the overflow observation.
+    EXPECT_EQ(buckets->items.back().find("count")->number, 1.0);
+}
+
 TEST(Metrics, JsonExpositionParsesAndCarriesBuckets)
 {
     auto &h = metrics::Registry::instance().histogram(

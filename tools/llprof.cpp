@@ -1,0 +1,579 @@
+/**
+ * @file
+ * llprof — calibration and regression-gate tooling over the
+ * plan-provenance ledger and the BENCH_<name>.json reports.
+ *
+ * Report mode (default):
+ *
+ *   --ledger PATH   ingest a calibration ledger (a JSONL file written
+ *                   via LL_LEDGER / ledger::Ledger, or a directory
+ *                   scanned for *.jsonl). Repeatable. Reports, over
+ *                   terminal records that carry a measurement:
+ *                     - per-rung prediction error: MAPE of the
+ *                       selection cost (estimateCycles) against the
+ *                       reporting cost the measured enumerated
+ *                       wavefront totals imply, plus the ratio spread;
+ *                     - the worst mispriced layout pairs (largest
+ *                       |log(predicted/measured)|, --top N);
+ *                     - measured-space monotonicity violations: layout
+ *                       pairs whose measured cost *decreases* down the
+ *                       ladder even though the selection costs are
+ *                       non-decreasing by construction — exactly the
+ *                       cases where worst-case selection pricing
+ *                       mischose, i.e. the autotuner's training signal.
+ *   --bench DIR     summarize the BENCH_*.json reports in DIR
+ *                   (wall-time medians, the fig9 suite context for the
+ *                   ledger numbers).
+ *   --top N         how many worst pairs to print (default 5).
+ *
+ * Gate mode:
+ *
+ *   --gate BASELINE CURRENT   diff two bench-JSON directories: for
+ *                   every BENCH_*.json in BASELINE, the matching
+ *                   CURRENT report's wall_ms.median must stay within
+ *                   (1 + --tolerance) * baseline + --slack-ms. A
+ *                   missing current report is a regression. Exit 0 when
+ *                   everything holds, 1 on any regression — the CI
+ *                   perf gate (llprof_gate_smoke).
+ *   --tolerance F   relative noise tolerance (default 0.10).
+ *   --slack-ms MS   absolute slack added on top (default 0.05), so
+ *                   microsecond-scale benches do not flap the gate.
+ *
+ * Ledger schema validation lives in `llstat --validate-ledger`; llprof
+ * assumes well-formed records and skips lines it cannot parse (counted
+ * and reported).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json_lite.h"
+
+using namespace ll;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> ledgerPaths;
+    std::string benchDir;
+    int top = 5;
+    bool gate = false;
+    std::string gateBaseline;
+    std::string gateCurrent;
+    double tolerance = 0.10;
+    double slackMs = 0.05;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: llprof [--ledger PATH]... [--bench DIR] [--top N]\n"
+           "       llprof --gate BASELINE CURRENT [--tolerance FRAC]\n"
+           "              [--slack-ms MS]\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "llprof: " << name << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--ledger") {
+            const char *v = needValue("--ledger");
+            if (!v)
+                return false;
+            opt.ledgerPaths.push_back(v);
+        } else if (arg == "--bench") {
+            const char *v = needValue("--bench");
+            if (!v)
+                return false;
+            opt.benchDir = v;
+        } else if (arg == "--top") {
+            const char *v = needValue("--top");
+            if (!v)
+                return false;
+            opt.top = std::max(1, std::atoi(v));
+        } else if (arg == "--gate") {
+            if (i + 2 >= argc) {
+                std::cerr << "llprof: --gate needs BASELINE and "
+                             "CURRENT directories\n";
+                return false;
+            }
+            opt.gate = true;
+            opt.gateBaseline = argv[++i];
+            opt.gateCurrent = argv[++i];
+        } else if (arg == "--tolerance") {
+            const char *v = needValue("--tolerance");
+            if (!v)
+                return false;
+            opt.tolerance = std::atof(v);
+            if (opt.tolerance < 0.0) {
+                std::cerr << "llprof: --tolerance must be >= 0\n";
+                return false;
+            }
+        } else if (arg == "--slack-ms") {
+            const char *v = needValue("--slack-ms");
+            if (!v)
+                return false;
+            opt.slackMs = std::atof(v);
+            if (opt.slackMs < 0.0) {
+                std::cerr << "llprof: --slack-ms must be >= 0\n";
+                return false;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::cerr << "llprof: unknown option " << arg << "\n";
+            usage();
+            return false;
+        }
+    }
+    if (!opt.gate && opt.ledgerPaths.empty() && opt.benchDir.empty()) {
+        std::cerr << "llprof: nothing to do\n";
+        usage();
+        return false;
+    }
+    return true;
+}
+
+/// Ledger ingestion ---------------------------------------------------
+
+struct LedgerRecord
+{
+    std::string src, dst, spec;
+    int elemBytes = 0;
+    std::string startRung, rung, outcome;
+    bool terminal = false;
+    double predicted = 0.0;
+    double measured = 0.0;
+    int64_t storeWf = 0, loadWf = 0;
+    bool demoted = false, deadline = false;
+
+    bool hasMeasurement() const { return storeWf + loadWf > 0; }
+    std::string pairKey() const
+    {
+        return src + "|" + dst + "|" + std::to_string(elemBytes) + "|" +
+               spec;
+    }
+};
+
+/** Ladder position of a span-taxonomy rung name; -1 if unknown. */
+int
+rungIndex(const std::string &rung)
+{
+    static const char *kLadder[] = {
+        "noop",          "register-permute", "warp-shuffle",
+        "shared-memory", "shared-padded",    "shared-scalar"};
+    for (int i = 0; i < 6; ++i) {
+        if (rung == kLadder[i])
+            return i + 1;
+    }
+    return -1;
+}
+
+std::vector<std::string>
+expandLedgerPaths(const std::vector<std::string> &paths, int &errors)
+{
+    std::vector<std::string> files;
+    for (const auto &p : paths) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(p, ec)) {
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(p, ec)) {
+                if (entry.is_regular_file() &&
+                    entry.path().extension() == ".jsonl")
+                    files.push_back(entry.path().string());
+            }
+            if (ec) {
+                std::cerr << "llprof: cannot read " << p << ": "
+                          << ec.message() << "\n";
+                ++errors;
+            }
+        } else {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+bool
+readLedgerFile(const std::string &path, std::vector<LedgerRecord> &out,
+               int &skipped)
+{
+    std::ifstream is(path);
+    if (!is.good()) {
+        std::cerr << "llprof: cannot open " << path << "\n";
+        return false;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        auto parsed = jsonlite::parse(line);
+        if (!parsed.has_value() || !parsed->isObject()) {
+            ++skipped;
+            continue;
+        }
+        LedgerRecord r;
+        auto str = [&](const char *key, std::string &into) {
+            const auto *v = parsed->find(key);
+            if (v && v->isString())
+                into = v->str;
+        };
+        auto num = [&](const char *key, double &into) {
+            const auto *v = parsed->find(key);
+            if (v && v->isNumber())
+                into = v->number;
+        };
+        auto boolean = [&](const char *key, bool &into) {
+            const auto *v = parsed->find(key);
+            if (v && v->isBool())
+                into = v->boolean;
+        };
+        str("src", r.src);
+        str("dst", r.dst);
+        str("spec", r.spec);
+        str("start_rung", r.startRung);
+        str("rung", r.rung);
+        str("outcome", r.outcome);
+        boolean("terminal", r.terminal);
+        boolean("demoted", r.demoted);
+        boolean("deadline", r.deadline);
+        double elem = 0, store = 0, load = 0;
+        num("elem", elem);
+        num("predicted_cycles", r.predicted);
+        num("measured_cycles", r.measured);
+        num("store_wf", store);
+        num("load_wf", load);
+        r.elemBytes = static_cast<int>(elem);
+        r.storeWf = static_cast<int64_t>(store);
+        r.loadWf = static_cast<int64_t>(load);
+        if (r.src.empty() || r.dst.empty() || rungIndex(r.rung) < 0) {
+            ++skipped;
+            continue;
+        }
+        out.push_back(std::move(r));
+    }
+    return true;
+}
+
+int
+reportLedger(const Options &opt)
+{
+    int errors = 0;
+    auto files = expandLedgerPaths(opt.ledgerPaths, errors);
+    if (files.empty()) {
+        std::cerr << "llprof: no ledger files found\n";
+        return 1;
+    }
+    std::vector<LedgerRecord> records;
+    int skipped = 0;
+    for (const auto &f : files) {
+        if (!readLedgerFile(f, records, skipped))
+            return 1;
+    }
+    std::printf("llprof: %zu record(s) from %zu ledger file(s)",
+                records.size(), files.size());
+    if (skipped)
+        std::printf(", %d unparseable line(s) skipped", skipped);
+    std::printf("\n");
+
+    // Per-rung prediction error over measured terminal accepts.
+    struct RungStats
+    {
+        int64_t evaluated = 0;
+        int64_t accepted = 0;
+        int64_t measuredN = 0;
+        double apeSum = 0.0; ///< sum of |pred-meas|/meas
+        double ratioMin = 0.0, ratioMax = 0.0;
+    };
+    std::map<int, RungStats> byRung;
+    std::vector<const LedgerRecord *> measured;
+    for (const auto &r : records) {
+        RungStats &s = byRung[rungIndex(r.rung)];
+        ++s.evaluated;
+        if (r.outcome != "accept")
+            continue;
+        ++s.accepted;
+        if (!r.terminal || !r.hasMeasurement() || r.measured <= 0.0)
+            continue;
+        const double ratio = r.predicted / r.measured;
+        if (s.measuredN == 0) {
+            s.ratioMin = s.ratioMax = ratio;
+        } else {
+            s.ratioMin = std::min(s.ratioMin, ratio);
+            s.ratioMax = std::max(s.ratioMax, ratio);
+        }
+        ++s.measuredN;
+        s.apeSum += std::fabs(r.predicted - r.measured) / r.measured;
+        measured.push_back(&r);
+    }
+    std::printf("\nper-rung prediction error (selection cost vs "
+                "measured reporting cost):\n");
+    std::printf("  %-18s %9s %9s %9s %9s %9s %9s\n", "rung", "evals",
+                "accepts", "measured", "MAPE%", "ratio-min",
+                "ratio-max");
+    static const char *kLadder[] = {
+        "noop",          "register-permute", "warp-shuffle",
+        "shared-memory", "shared-padded",    "shared-scalar"};
+    for (int i = 1; i <= 6; ++i) {
+        auto it = byRung.find(i);
+        if (it == byRung.end())
+            continue;
+        const RungStats &s = it->second;
+        if (s.measuredN > 0)
+            std::printf("  %-18s %9lld %9lld %9lld %9.1f %9.3f %9.3f\n",
+                        kLadder[i - 1],
+                        static_cast<long long>(s.evaluated),
+                        static_cast<long long>(s.accepted),
+                        static_cast<long long>(s.measuredN),
+                        100.0 * s.apeSum /
+                            static_cast<double>(s.measuredN),
+                        s.ratioMin, s.ratioMax);
+        else
+            std::printf("  %-18s %9lld %9lld %9s %9s %9s %9s\n",
+                        kLadder[i - 1],
+                        static_cast<long long>(s.evaluated),
+                        static_cast<long long>(s.accepted), "-", "-",
+                        "-", "-");
+    }
+
+    // Worst mispriced layout pairs.
+    std::sort(measured.begin(), measured.end(),
+              [](const LedgerRecord *a, const LedgerRecord *b) {
+                  const double la =
+                      std::fabs(std::log(a->predicted / a->measured));
+                  const double lb =
+                      std::fabs(std::log(b->predicted / b->measured));
+                  if (la != lb)
+                      return la > lb;
+                  return a->pairKey() < b->pairKey();
+              });
+    const int top =
+        std::min<int>(opt.top, static_cast<int>(measured.size()));
+    if (top > 0) {
+        std::printf("\nworst mispriced layout pairs (top %d):\n", top);
+        for (int i = 0; i < top; ++i) {
+            const LedgerRecord &r = *measured[static_cast<size_t>(i)];
+            std::printf("  %s -> %s elem=%d rung=%s predicted=%.1f "
+                        "measured=%.1f ratio=%.3f%s\n",
+                        r.src.c_str(), r.dst.c_str(), r.elemBytes,
+                        r.rung.c_str(), r.predicted, r.measured,
+                        r.predicted / r.measured,
+                        r.demoted ? " (demoted)" : "");
+        }
+    }
+
+    // Measured-space monotonicity: the ladder's selection costs are
+    // non-decreasing down the ladder by construction; flag layout
+    // pairs where the *measured* costs invert that order (a lower rung
+    // measured costlier than a higher one).
+    std::map<std::string, std::vector<const LedgerRecord *>> byPair;
+    for (const auto *r : measured)
+        byPair[r->pairKey()].push_back(r);
+    int64_t pairsChecked = 0, violations = 0;
+    for (auto &[key, recs] : byPair) {
+        if (recs.size() < 2)
+            continue;
+        std::sort(recs.begin(), recs.end(),
+                  [](const LedgerRecord *a, const LedgerRecord *b) {
+                      return rungIndex(a->rung) < rungIndex(b->rung);
+                  });
+        for (size_t i = 0; i + 1 < recs.size(); ++i) {
+            for (size_t j = i + 1; j < recs.size(); ++j) {
+                if (rungIndex(recs[i]->rung) == rungIndex(recs[j]->rung))
+                    continue;
+                ++pairsChecked;
+                if (recs[i]->measured > recs[j]->measured) {
+                    ++violations;
+                    std::printf("  monotonicity violation: %s rung %s "
+                                "measured %.1f > rung %s measured "
+                                "%.1f\n",
+                                key.c_str(), recs[i]->rung.c_str(),
+                                recs[i]->measured, recs[j]->rung.c_str(),
+                                recs[j]->measured);
+                }
+            }
+        }
+    }
+    std::printf("\nmeasured-space monotonicity: %lld rung pair(s) "
+                "compared, %lld violation(s)\n",
+                static_cast<long long>(pairsChecked),
+                static_cast<long long>(violations));
+    return errors ? 1 : 0;
+}
+
+/// Bench-JSON handling ------------------------------------------------
+
+struct BenchReport
+{
+    std::string name;
+    double medianMs = 0.0;
+    double p90Ms = 0.0;
+    double reps = 0.0;
+};
+
+std::optional<BenchReport>
+readBenchReport(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto parsed = jsonlite::parse(text.str());
+    if (!parsed.has_value() || !parsed->isObject())
+        return std::nullopt;
+    const auto *name = parsed->find("name");
+    const auto *wall = parsed->find("wall_ms");
+    if (!name || !name->isString() || !wall || !wall->isObject())
+        return std::nullopt;
+    const auto *median = wall->find("median");
+    const auto *p90 = wall->find("p90");
+    if (!median || !median->isNumber())
+        return std::nullopt;
+    BenchReport r;
+    r.name = name->str;
+    r.medianMs = median->number;
+    r.p90Ms = p90 && p90->isNumber() ? p90->number : 0.0;
+    const auto *reps = parsed->find("reps");
+    r.reps = reps && reps->isNumber() ? reps->number : 0.0;
+    return r;
+}
+
+/** name -> report for every BENCH_*.json in dir; nullopt on IO error. */
+std::optional<std::map<std::string, BenchReport>>
+readBenchDir(const std::string &dir)
+{
+    std::map<std::string, BenchReport> out;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string base = entry.path().filename().string();
+        if (base.rfind("BENCH_", 0) != 0 ||
+            entry.path().extension() != ".json")
+            continue;
+        auto report = readBenchReport(entry.path().string());
+        if (!report.has_value()) {
+            std::cerr << "llprof: " << entry.path().string()
+                      << ": malformed bench report\n";
+            return std::nullopt;
+        }
+        out[report->name] = *report;
+    }
+    if (ec) {
+        std::cerr << "llprof: cannot read " << dir << ": "
+                  << ec.message() << "\n";
+        return std::nullopt;
+    }
+    return out;
+}
+
+int
+reportBench(const std::string &dir)
+{
+    auto reports = readBenchDir(dir);
+    if (!reports.has_value())
+        return 1;
+    if (reports->empty()) {
+        std::cerr << "llprof: no BENCH_*.json found in " << dir << "\n";
+        return 1;
+    }
+    std::printf("\nbench suite (%s):\n", dir.c_str());
+    std::printf("  %-28s %12s %12s %6s\n", "name", "median-ms",
+                "p90-ms", "reps");
+    double total = 0.0;
+    for (const auto &[name, r] : *reports) {
+        std::printf("  %-28s %12.3f %12.3f %6.0f\n", name.c_str(),
+                    r.medianMs, r.p90Ms, r.reps);
+        total += r.medianMs;
+    }
+    std::printf("  %-28s %12.3f\n", "total", total);
+    return 0;
+}
+
+int
+runGate(const Options &opt)
+{
+    auto baseline = readBenchDir(opt.gateBaseline);
+    auto current = readBenchDir(opt.gateCurrent);
+    if (!baseline.has_value() || !current.has_value())
+        return 2;
+    if (baseline->empty()) {
+        std::cerr << "llprof: no BENCH_*.json found in "
+                  << opt.gateBaseline << "\n";
+        return 2;
+    }
+    int regressions = 0;
+    std::printf("llprof gate: tolerance %.0f%% + %.3g ms slack\n",
+                100.0 * opt.tolerance, opt.slackMs);
+    std::printf("  %-28s %12s %12s %8s  %s\n", "name", "baseline-ms",
+                "current-ms", "delta%", "verdict");
+    for (const auto &[name, base] : *baseline) {
+        auto it = current->find(name);
+        if (it == current->end()) {
+            ++regressions;
+            std::printf("  %-28s %12.3f %12s %8s  MISSING\n",
+                        name.c_str(), base.medianMs, "-", "-");
+            continue;
+        }
+        const double cur = it->second.medianMs;
+        const double limit =
+            base.medianMs * (1.0 + opt.tolerance) + opt.slackMs;
+        const double deltaPct =
+            base.medianMs > 0.0
+                ? 100.0 * (cur - base.medianMs) / base.medianMs
+                : 0.0;
+        const bool regressed = cur > limit;
+        regressions += regressed;
+        std::printf("  %-28s %12.3f %12.3f %+8.1f  %s\n", name.c_str(),
+                    base.medianMs, cur, deltaPct,
+                    regressed ? "REGRESSED" : "ok");
+    }
+    std::printf("llprof gate: %d regression(s) across %zu bench(es)\n",
+                regressions, baseline->size());
+    return regressions ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    if (opt.gate)
+        return runGate(opt);
+
+    int rc = 0;
+    if (!opt.ledgerPaths.empty())
+        rc = reportLedger(opt);
+    if (!opt.benchDir.empty()) {
+        int benchRc = reportBench(opt.benchDir);
+        rc = rc ? rc : benchRc;
+    }
+    return rc;
+}

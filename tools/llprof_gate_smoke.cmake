@@ -1,0 +1,95 @@
+# The perf regression gate's own contract:
+#   1. generate a real baseline bench dir by replaying the corpus
+#      through llserve (one rep keeps it fast; the gate only reads the
+#      emitted BENCH_*.json);
+#   2. self vs self must pass (exit 0);
+#   3. a copy whose wall_ms.median is inflated 25% — past the default
+#      10% tolerance — must fail (exit nonzero);
+#   4. a copy missing a report entirely must also fail.
+#
+# Script arguments (via -D):
+#   LLSERVE     path to the llserve binary
+#   LLPROF      path to the llprof binary
+#   CORPUS_DIR  seed corpus directory
+#   OUT_DIR     scratch dir for the bench-JSON trees
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/baseline")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "LL_BENCH_JSON_DIR=${OUT_DIR}/baseline" "LL_BENCH_REPS=1"
+            "${LLSERVE}" --corpus "${CORPUS_DIR}" --threads 2
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llserve baseline run exited with ${rc}")
+endif()
+if(NOT EXISTS "${OUT_DIR}/baseline/BENCH_service.json")
+    message(FATAL_ERROR "baseline run did not emit BENCH_service.json")
+endif()
+
+# Self vs self: no regression.
+execute_process(
+    COMMAND "${LLPROF}" --gate "${OUT_DIR}/baseline"
+            "${OUT_DIR}/baseline"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gate failed on self vs self (rc ${rc})")
+endif()
+
+# Inflate wall_ms.median by 50% — well past the 10% default tolerance.
+# The slack floor is overridden to 0 so the check is purely relative
+# and does not depend on how fast this machine ran the baseline.
+# CMake math() is integer-only, so the median is scaled to integer
+# micro-units first; +50% (x + x/2) keeps everything integral.
+file(READ "${OUT_DIR}/baseline/BENCH_service.json" report)
+string(REGEX MATCH "\"median\": ([0-9]+)(\\.([0-9]+))?" matched
+       "${report}")
+if(matched STREQUAL "")
+    message(FATAL_ERROR "could not find wall_ms.median in the report")
+endif()
+set(median "${CMAKE_MATCH_1}")
+if(NOT CMAKE_MATCH_3 STREQUAL "")
+    set(median "${median}.${CMAKE_MATCH_3}")
+endif()
+string(SUBSTRING "${CMAKE_MATCH_3}000000" 0 6 fracPad)
+math(EXPR microVal "${CMAKE_MATCH_1} * 1000000 + ${fracPad}")
+math(EXPR inflatedMicro "${microVal} + ${microVal} / 2")
+math(EXPR inflInt "${inflatedMicro} / 1000000")
+math(EXPR inflFrac "${inflatedMicro} % 1000000")
+string(LENGTH "${inflFrac}" fracLen)
+set(zeroPad "")
+if(fracLen LESS 6)
+    math(EXPR padN "6 - ${fracLen}")
+    string(REPEAT "0" ${padN} zeroPad)
+endif()
+set(inflated "${inflInt}.${zeroPad}${inflFrac}")
+
+file(MAKE_DIRECTORY "${OUT_DIR}/regressed")
+string(REPLACE "\"median\": ${median}" "\"median\": ${inflated}"
+       regressed "${report}")
+if(regressed STREQUAL "${report}")
+    message(FATAL_ERROR "failed to inflate the median for the test")
+endif()
+file(WRITE "${OUT_DIR}/regressed/BENCH_service.json" "${regressed}")
+
+execute_process(
+    COMMAND "${LLPROF}" --gate "${OUT_DIR}/baseline"
+            "${OUT_DIR}/regressed" --slack-ms 0
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "gate passed a 1.5x inflated median (want nonzero exit)")
+endif()
+
+# A current tree missing the report entirely is also a regression.
+file(MAKE_DIRECTORY "${OUT_DIR}/empty")
+file(WRITE "${OUT_DIR}/empty/BENCH_unrelated.json"
+     "{\"name\": \"unrelated\", \"reps\": 1, \"wall_ms\": {\"median\": 1.0, \"p90\": 1.0, \"min\": 1.0, \"mean\": 1.0}, \"metrics\": {}}")
+execute_process(
+    COMMAND "${LLPROF}" --gate "${OUT_DIR}/baseline" "${OUT_DIR}/empty"
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "gate passed with a missing current report")
+endif()

@@ -1,0 +1,75 @@
+# Smoke-run the calibration pipeline end to end:
+#   1. replay the seed corpus and the fig9 kernel suite through llstat
+#      with LL_LEDGER set — every planned conversion must land in the
+#      JSONL ledger;
+#   2. llstat --validate-ledger: schema + exactly one terminal record
+#      per planned conversion;
+#   3. llserve over the same corpus with --ledger on 8 threads — the
+#      coalesced service path must produce a schema-valid ledger too;
+#   4. llprof over both ledgers must report per-rung MAPE and exit 0.
+#
+# Script arguments (via -D):
+#   LLSTAT      path to the llstat binary
+#   LLSERVE     path to the llserve binary
+#   LLPROF      path to the llprof binary
+#   CORPUS_DIR  seed corpus directory
+#   OUT_DIR     scratch dir for the emitted ledgers
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            "LL_LEDGER=${OUT_DIR}/ledger_llstat.jsonl"
+            "${LLSTAT}" --corpus "${CORPUS_DIR}" --kernels
+            --metrics none
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llstat replay exited with ${rc}")
+endif()
+if(NOT EXISTS "${OUT_DIR}/ledger_llstat.jsonl")
+    message(FATAL_ERROR "LL_LEDGER did not produce a ledger")
+endif()
+
+execute_process(
+    COMMAND "${LLSTAT}"
+            --validate-ledger "${OUT_DIR}/ledger_llstat.jsonl"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ledger schema validation failed")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "LL_BENCH_JSON_DIR=${OUT_DIR}"
+            "${LLSERVE}" --corpus "${CORPUS_DIR}"
+            --threads 8 --repeat 2 --shuffle
+            --ledger "${OUT_DIR}/ledger_llserve.jsonl"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llserve exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${LLSTAT}"
+            --validate-ledger "${OUT_DIR}/ledger_llserve.jsonl"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llserve ledger schema validation failed")
+endif()
+
+execute_process(
+    COMMAND "${LLPROF}"
+            --ledger "${OUT_DIR}/ledger_llstat.jsonl"
+            --ledger "${OUT_DIR}/ledger_llserve.jsonl"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out)
+message("${out}")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llprof exited with ${rc}")
+endif()
+if(NOT out MATCHES "MAPE")
+    message(FATAL_ERROR "llprof report lacks the per-rung MAPE table")
+endif()
+if(NOT out MATCHES "monotonicity")
+    message(FATAL_ERROR "llprof report lacks the monotonicity section")
+endif()
