@@ -179,6 +179,106 @@ printPlanCacheAmortization()
                 static_cast<long long>(cache.size()));
 }
 
+/**
+ * LL_FIG9_SYNTH: set (to anything but "0") to also run the suite with
+ * EngineOptions::synthesizeLayouts on and report it against the
+ * synth-off baseline — the paper-style converts_eliminated / total
+ * cycles measurement the ISSUE tracks against the 52/344 propagation
+ * baseline. Off by default so the fig9_speedup_smoke timing guard is
+ * unaffected; the fig9_synth_smoke ctest sets it and enforces the
+ * emitted counters (strictly more conversions eliminated, never more
+ * cycles on any kernel).
+ */
+bool
+synthRequested()
+{
+    const char *env = std::getenv("LL_FIG9_SYNTH");
+    return env != nullptr && *env != '\0' &&
+           std::string(env) != "0";
+}
+
+void
+printSynthComparison()
+{
+    const sim::GpuSpec specs[] = {sim::GpuSpec::rtx4090(),
+                                  sim::GpuSpec::gh200(),
+                                  sim::GpuSpec::mi250()};
+    bench::printHeader(
+        "Layout synthesis vs default propagation: conversions "
+        "eliminated and modeled cycles (all platforms)");
+    std::printf("%-20s %-9s %12s %12s %14s %14s\n", "kernel", "spec",
+                "elim(off)", "elim(on)", "cycles(off)", "cycles(on)");
+
+    long long offElim = 0, onElim = 0, synthElim = 0, offInserted = 0;
+    double offCycles = 0.0, onCycles = 0.0;
+    int kernelsWorse = 0;
+    for (const auto &spec : specs) {
+        // One shared cache per platform across both passes: plans are
+        // pure functions of (src, dst, bytes, spec), and sharing also
+        // exercises the plan-cache-backed edge pricing inside the
+        // search.
+        service::PlanCache cache;
+        for (const auto &k : kernels::allKernels()) {
+            if (!kernelSelected(k) || !kernelRunsOn(k, spec))
+                continue;
+            int kOffElim = 0, kOnElim = 0;
+            double kOffCycles = 0.0, kOnCycles = 0.0;
+            for (int32_t size : k.sizes) {
+                engine::EngineOptions off;
+                off.spec = spec;
+                off.planCache = &cache;
+                engine::EngineOptions on = off;
+                on.synthesizeLayouts = true;
+
+                ir::Function fOff = k.build(size);
+                auto sOff = engine::LayoutEngine{off}.run(fOff);
+                auto cOff = engine::estimateKernelCost(fOff, spec, 4);
+                ir::Function fOn = k.build(size);
+                auto sOn = engine::LayoutEngine{on}.run(fOn);
+                auto cOn = engine::estimateKernelCost(fOn, spec, 4);
+
+                kOffElim += sOff.convertsEliminated;
+                kOnElim += sOn.convertsEliminated;
+                synthElim += sOn.synthConvertsEliminated;
+                offInserted += sOff.convertsInserted;
+                kOffCycles += cOff.cycles;
+                kOnCycles += cOn.cycles;
+            }
+            offElim += kOffElim;
+            onElim += kOnElim;
+            offCycles += kOffCycles;
+            onCycles += kOnCycles;
+            const bool worse = kOnCycles > kOffCycles + 1e-6;
+            kernelsWorse += worse;
+            std::printf("%-20s %-9s %12d %12d %14.0f %14.0f%s\n",
+                        k.name.c_str(), spec.name.c_str(), kOffElim,
+                        kOnElim, kOffCycles, kOnCycles,
+                        worse ? "  WORSE" : "");
+        }
+    }
+    std::printf("total: eliminated %lld/%lld -> %lld/%lld "
+                "(+%lld from synthesis), cycles %.0f -> %.0f, "
+                "%d kernel(s) worse\n",
+                offElim, offInserted, onElim, offInserted, synthElim,
+                offCycles, onCycles, kernelsWorse);
+
+    // The machine-readable contract: fig9_synth_smoke and llprof
+    // --gate read these out of BENCH_fig9_real_kernels.json. The
+    // eliminated partition (propagation + synthesis) must sum — llstat
+    // --validate-bench-json checks it.
+    metrics::counter("synth.fig9.baseline_converts_eliminated")
+        .add(offElim);
+    metrics::counter("synth.fig9.converts_eliminated").add(onElim);
+    metrics::counter("synth.fig9.propagation_eliminated")
+        .add(onElim - synthElim);
+    metrics::counter("synth.fig9.synth_eliminated").add(synthElim);
+    metrics::counter("synth.fig9.baseline_cycles")
+        .add(static_cast<int64_t>(std::llround(offCycles)));
+    metrics::counter("synth.fig9.cycles")
+        .add(static_cast<int64_t>(std::llround(onCycles)));
+    metrics::counter("synth.fig9.kernels_worse").add(kernelsWorse);
+}
+
 void
 BM_EngineOnKernel(benchmark::State &state)
 {
@@ -204,6 +304,8 @@ main(int argc, char **argv)
     ll::bench::emitBenchJson("fig9_real_kernels", [] {
         printTable();
         printPlanCacheAmortization();
+        if (synthRequested())
+            printSynthComparison();
     });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,129 @@
+# Layout-synthesis guard over the full fig9 suite: run the benchmark
+# with LL_FIG9_SYNTH=1 (synthesis on, compared in-process against the
+# synth-off baseline on every kernel x platform) and enforce the
+# ISSUE's acceptance contract on the emitted counters:
+#
+#   1. BENCH_fig9_real_kernels.json is schema-valid, including the
+#      eliminated = propagation + synthesis partition
+#      (llstat --validate-bench-json);
+#   2. synth.fig9.converts_eliminated is strictly greater than 52 —
+#      the propagation-only baseline the paper-style measurement
+#      started from;
+#   3. the never-worse guarantee held: synth.fig9.kernels_worse == 0
+#      and synth.fig9.cycles <= synth.fig9.baseline_cycles;
+#   4. llprof --gate understands the synth fields: self vs self passes,
+#      and a copy with one fewer eliminated conversion fails.
+#
+# Script arguments (via -D):
+#   FIG9     path to the fig9_real_kernels binary
+#   LLSTAT   path to the llstat binary
+#   LLPROF   path to the llprof binary
+#   OUT_DIR  scratch dir for the emitted reports
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/baseline")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            LL_FIG9_SYNTH=1 LL_BENCH_REPS=1
+            "LL_BENCH_JSON_DIR=${OUT_DIR}/baseline"
+            "${FIG9}" --benchmark_filter=__nobench__
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fig9 (LL_FIG9_SYNTH=1) exited with ${rc}")
+endif()
+set(report_path "${OUT_DIR}/baseline/BENCH_fig9_real_kernels.json")
+if(NOT EXISTS "${report_path}")
+    message(FATAL_ERROR "run did not emit BENCH_fig9_real_kernels.json")
+endif()
+
+# 1. Schema + partition validation.
+execute_process(
+    COMMAND "${LLSTAT}" --validate-bench-json "${OUT_DIR}/baseline"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llstat --validate-bench-json failed (rc ${rc})")
+endif()
+
+# emitBenchJson writes counter *deltas* and omits zero deltas, so a
+# counter absent from the report is an exact 0. Callers that must see a
+# nonzero value pass no default and fail on absence; kernels_worse is
+# expected to be 0 (and therefore absent) on a healthy run.
+file(READ "${report_path}" report)
+function(read_counter name out_var)
+    string(REGEX MATCH "\"${name}\": ([0-9]+)" matched "${report}")
+    if(matched STREQUAL "")
+        if(ARGC GREATER 2)
+            set(${out_var} "${ARGV2}" PARENT_SCOPE)
+            return()
+        endif()
+        message(FATAL_ERROR "report lacks the ${name} counter")
+    endif()
+    set(${out_var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+read_counter("synth\\.fig9\\.converts_eliminated" eliminated)
+read_counter("synth\\.fig9\\.baseline_converts_eliminated" base_elim)
+read_counter("synth\\.fig9\\.cycles" cycles)
+read_counter("synth\\.fig9\\.baseline_cycles" base_cycles)
+read_counter("synth\\.fig9\\.kernels_worse" worse 0)
+message(STATUS "synth fig9: eliminated ${base_elim} -> ${eliminated}, "
+               "cycles ${base_cycles} -> ${cycles}, "
+               "${worse} kernel(s) worse")
+
+# 2. Strictly better than the 52-conversion propagation baseline.
+if(NOT eliminated GREATER 52)
+    message(FATAL_ERROR
+        "synthesis eliminated only ${eliminated} conversions "
+        "(need strictly more than the 52 propagation baseline)")
+endif()
+if(NOT eliminated GREATER base_elim)
+    message(FATAL_ERROR
+        "synthesis (${eliminated}) did not beat this run's own "
+        "synth-off count (${base_elim})")
+endif()
+
+# 3. Never worse: per-kernel enforced in-process (kernels_worse), and
+#    the totals must agree.
+if(NOT worse EQUAL 0)
+    message(FATAL_ERROR
+        "${worse} kernel(s) priced worse with synthesis on — the "
+        "never-worse guarantee is broken")
+endif()
+if(cycles GREATER base_cycles)
+    message(FATAL_ERROR
+        "total synth cycles ${cycles} exceed the synth-off baseline "
+        "${base_cycles}")
+endif()
+
+# 4a. The perf gate accepts its own synth fields.
+execute_process(
+    COMMAND "${LLPROF}" --gate "${OUT_DIR}/baseline"
+            "${OUT_DIR}/baseline"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "llprof gate failed on self vs self (rc ${rc})")
+endif()
+
+# 4b. One fewer eliminated conversion must trip the gate (the count is
+#     deterministic — no tolerance applies).
+math(EXPR fewer "${eliminated} - 1")
+string(REPLACE
+       "\"synth.fig9.converts_eliminated\": ${eliminated}"
+       "\"synth.fig9.converts_eliminated\": ${fewer}"
+       regressed "${report}")
+if(regressed STREQUAL "${report}")
+    message(FATAL_ERROR "failed to decrement the eliminated counter")
+endif()
+file(MAKE_DIRECTORY "${OUT_DIR}/regressed")
+file(WRITE "${OUT_DIR}/regressed/BENCH_fig9_real_kernels.json"
+     "${regressed}")
+execute_process(
+    COMMAND "${LLPROF}" --gate "${OUT_DIR}/baseline"
+            "${OUT_DIR}/regressed"
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "gate passed a decremented eliminated count (want nonzero)")
+endif()

@@ -4,10 +4,9 @@
 
 #include "codegen/conversion.h"
 #include "codegen/gather.h"
-#include "codegen/vectorize.h"
 #include "layout/dims.h"
-#include "sim/memory_sim.h"
 #include "support/bits.h"
+#include "synth/candidates.h"
 
 namespace ll {
 namespace engine {
@@ -30,34 +29,14 @@ warpCount(const LinearLayout &l)
     return l.hasInDim(kWarp) ? l.getInDimSize(kWarp) : 1;
 }
 
-/** Global traffic of one load/store of a tensor in `layout`. */
+/** Global traffic of one load/store of a tensor in `layout`. The
+ *  replay lives in synth::globalMemorySectors so the synthesis node
+ *  cost and this estimate are one function, not two copies. */
 int64_t
 globalSectorsFor(const LinearLayout &layout, int elemBits,
                  const sim::GpuSpec &spec)
 {
-    const int warpSize =
-        layout.hasInDim(kLane) ? layout.getInDimSize(kLane) : 1;
-    const int regs = regCount(layout);
-    const int instElems =
-        std::max(1, codegen::accessBitwidth(layout, elemBits) / elemBits);
-    const int instsPerThread = std::max(1, regs / instElems);
-    const int regLog = layout.hasInDim(kReg)
-                           ? layout.getInDimSizeLog2(kReg)
-                           : 0;
-
-    // Representative warp access: register group 0 of warp 0.
-    std::vector<int64_t> addrs;
-    for (int lane = 0; lane < warpSize; ++lane) {
-        uint64_t in = static_cast<uint64_t>(lane) << regLog;
-        uint64_t flat = layout.applyFlat(in);
-        addrs.push_back(
-            static_cast<int64_t>(flat * static_cast<uint64_t>(elemBits) /
-                                 8));
-    }
-    sim::GlobalMemory gmem(spec);
-    int64_t sectorsPerInst =
-        gmem.countSectors(addrs, std::max(1, instElems * elemBits / 8));
-    return sectorsPerInst * instsPerThread * warpCount(layout);
+    return synth::globalMemorySectors(layout, elemBits, spec);
 }
 
 } // namespace

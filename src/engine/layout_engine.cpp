@@ -6,6 +6,7 @@
 
 #include "codegen/conversion.h"
 #include "codegen/shuffle.h"
+#include "engine/cost_model.h"
 #include "engine/shape_transfer.h"
 #include "layout/dims.h"
 #include "service/cute_service.h"
@@ -36,55 +37,24 @@ isNoOpConversion(const LinearLayout &have, const LinearLayout &want)
 
 } // namespace
 
+// The anchor and MMA layout constructors live in synth/candidates.cpp
+// now — they double as candidate index 0 of the synthesis search, and
+// delegating keeps "the engine's default" and "the search's default"
+// one piece of code (synth_test pins the equality).
+
 LinearLayout
 LayoutEngine::anchorForMemory(const ir::TensorType &type) const
 {
-    llUserCheck(!type.shape.empty(),
-                "memory anchor needs a ranked tensor type");
-    for (auto d : type.shape)
-        llUserCheck(d >= 1, "tensor dims must be positive, got " +
-                                std::to_string(d));
-    llUserCheck(bitWidth(type.dtype) >= 1,
-                "element type has no width");
-    int vec = std::max(1, 128 / bitWidth(type.dtype));
-    auto enc = triton::BlockedEncoding::makeDefault(
-        type.shape, options_.numWarps, options_.spec.warpSize, vec);
-    return enc.toLinearLayout(type.shape);
+    return synth::defaultMemoryAnchor(type, options_.spec,
+                                      options_.numWarps);
 }
 
 LinearLayout
 LayoutEngine::dotResultLayout(const ir::TensorType &accType,
                               int operandBits) const
 {
-    llUserCheck(accType.shape.size() == 2,
-                "dot accumulator must be rank-2, got rank " +
-                    std::to_string(accType.shape.size()));
-    llUserCheck(operandBits >= 1 && operandBits <= 64,
-                "dot operand width must be 1..64 bits, got " +
-                    std::to_string(operandBits));
-    const auto &shape = accType.shape;
-    if (options_.spec.warpSize == 64) {
-        triton::MfmaEncoding enc;
-        int32_t wM = std::min<int32_t>(options_.numWarps,
-                                       std::max(shape[0] / 32, 1));
-        enc.warpsPerCta = {wM, options_.numWarps / wM};
-        return enc.toLinearLayout(shape);
-    }
-    triton::MmaEncoding enc;
-    if (options_.spec.hasWgmma && shape[0] >= 64 && operandBits <= 16 &&
-        options_.numWarps >= 4) {
-        enc.version = 3;
-        enc.instrN = std::min<int32_t>(shape[1], 256);
-        int32_t groups = options_.numWarps / 4;
-        int32_t gM = std::min<int32_t>(groups, std::max(shape[0] / 64, 1));
-        enc.warpsPerCta = {4 * gM, groups / gM};
-    } else {
-        enc.version = 2;
-        int32_t wM = std::min<int32_t>(options_.numWarps,
-                                       std::max(shape[0] / 16, 1));
-        enc.warpsPerCta = {wM, std::max(options_.numWarps / wM, 1)};
-    }
-    return enc.toLinearLayout(shape);
+    return synth::dotResultLayout(accType, operandBits, options_.spec,
+                                  options_.numWarps);
 }
 
 LinearLayout
@@ -92,49 +62,9 @@ LayoutEngine::dotOperandLayout(const ir::TensorType &operandType,
                                const ir::TensorType &accType, int opIdx,
                                int operandBits) const
 {
-    llUserCheck(opIdx == 0 || opIdx == 1,
-                "dot operand index must be 0 or 1, got " +
-                    std::to_string(opIdx));
-    llUserCheck(operandType.shape.size() == 2 &&
-                    accType.shape.size() == 2,
-                "dot operands and accumulator must be rank-2");
-    llUserCheck(operandType.shape[opIdx == 0 ? 0 : 1] ==
-                    accType.shape[opIdx == 0 ? 0 : 1],
-                "dot operand shape does not match the accumulator: "
-                "operand " +
-                    std::to_string(opIdx) + " is " +
-                    std::to_string(operandType.shape[0]) + "x" +
-                    std::to_string(operandType.shape[1]) +
-                    " against a " + std::to_string(accType.shape[0]) +
-                    "x" + std::to_string(accType.shape[1]) +
-                    " accumulator");
-    triton::DotOperandEncoding enc;
-    if (options_.spec.warpSize == 64) {
-        // Model the mfma operand path with the v2 tile over 32 lanes
-        // plus lane broadcast; for cost purposes the conversion through
-        // shared memory dominates either way. Use the v2 construction.
-        enc.parent.version = 2;
-    } else if (options_.spec.hasWgmma && accType.shape[0] >= 64 &&
-               operandBits <= 16 && options_.numWarps >= 4) {
-        enc.parent.version = 3;
-    } else {
-        enc.parent.version = 2;
-    }
-    // Match the warp distribution chosen for the result.
-    if (enc.parent.version == 3) {
-        int32_t groups = options_.numWarps / 4;
-        int32_t gM = std::min<int32_t>(
-            groups, std::max(accType.shape[0] / 64, 1));
-        enc.parent.warpsPerCta = {4 * gM, groups / gM};
-    } else {
-        int32_t wM = std::min<int32_t>(
-            options_.numWarps, std::max(accType.shape[0] / 16, 1));
-        enc.parent.warpsPerCta = {wM,
-                                  std::max(options_.numWarps / wM, 1)};
-    }
-    enc.opIdx = opIdx;
-    enc.bitwidth = std::clamp(operandBits, 8, 32);
-    return enc.toLinearLayout(operandType.shape);
+    return synth::dotOperandLayout(operandType, accType, opIdx,
+                                   operandBits, options_.spec,
+                                   options_.numWarps);
 }
 
 Result<cute::CutePlan>
@@ -173,7 +103,9 @@ LayoutEngine::ensureOperand(ir::Function &f, int opIdx, size_t slot,
 }
 
 void
-LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
+LayoutEngine::assignForward(ir::Function &f, EngineStats &stats,
+                            const std::map<int, LinearLayout>
+                                *anchorOverrides)
 {
     trace::Span phase("engine.assign", "engine");
     const int numOps = f.numOps();
@@ -216,10 +148,18 @@ LayoutEngine::assignForward(ir::Function &f, EngineStats &stats)
         };
         switch (o.kind) {
           case OpKind::Load:
-          case OpKind::Constant:
-            f.value(o.results[0]).layout =
-                anchorForMemory(f.value(o.results[0]).type);
+          case OpKind::Constant: {
+            const int rv = o.results[0];
+            if (anchorOverrides != nullptr) {
+                auto it = anchorOverrides->find(rv);
+                if (it != anchorOverrides->end()) {
+                    f.value(rv).layout = it->second;
+                    break;
+                }
+            }
+            f.value(rv).layout = anchorForMemory(f.value(rv).type);
             break;
+          }
           case OpKind::Store:
             break; // any layout can be stored
           case OpKind::Elementwise: {
@@ -606,6 +546,116 @@ LayoutEngine::planConversions(ir::Function &f, EngineStats &stats)
     }
 }
 
+std::map<int, LinearLayout>
+LayoutEngine::synthesizeAssignment(const ir::Function &f,
+                                   EngineStats &stats)
+{
+    trace::Span span("synth.run", "synth");
+    if (span.active())
+        span.arg("function", f.name());
+    synth::SynthOptions so = options_.synthOptions;
+    so.planCache = options_.planCache;
+    synth::SynthResult sr;
+    try {
+        sr = synth::synthesizeAnchors(f, options_.spec,
+                                      options_.numWarps, so);
+    } catch (const std::exception &e) {
+        // Synthesis is an optimization, never a failure mode: anything
+        // it cannot handle falls back to the default assignment.
+        stats.planDiagnostics.push_back(
+            std::string("synthesis failed, using the default "
+                        "assignment: ") +
+            e.what());
+        metrics::counter("synth.search_failures").inc();
+        return {};
+    }
+    if (sr.anchors.empty() || sr.ranked.empty())
+        return {};
+
+    auto overridesFor = [&](const synth::SynthAssignment &a) {
+        std::map<int, LinearLayout> m;
+        for (size_t i = 0; i < sr.anchors.size(); ++i) {
+            if (a.choice[i] == 0)
+                continue; // index 0 is the default anchor
+            m.emplace(sr.anchors[i],
+                      sr.candidates[i][static_cast<size_t>(a.choice[i])]
+                          .layout);
+        }
+        return m;
+    };
+
+    // Reprice the finalists with the true pipeline: a trial
+    // assignment + cleanup on a copy is exactly what the real run
+    // produces (planConversions only tags ops), so the cost comparison
+    // below is exact, not a guide estimate — the never-worse guarantee
+    // rests on it.
+    struct Eval
+    {
+        double cycles = 0.0;
+        int surviving = 0;
+    };
+    auto evaluate = [&](const synth::SynthAssignment &a) -> Eval {
+        trace::Span evalSpan("synth.evaluate", "synth");
+        ir::Function copy = f;
+        EngineStats trial;
+        auto overrides = overridesFor(a);
+        assignForward(copy, trial,
+                      overrides.empty() ? nullptr : &overrides);
+        cleanup(copy, trial);
+        auto cost = estimateKernelCost(copy, options_.spec,
+                                       options_.numWarps);
+        if (evalSpan.active()) {
+            evalSpan.arg("cycles", static_cast<int>(cost.cycles));
+            evalSpan.arg("converts", cost.converts);
+        }
+        return {cost.cycles,
+                trial.convertsInserted - trial.convertsEliminated};
+    };
+
+    Eval best;
+    int bestRank = -1; // -1 = the default assignment
+    Eval defaultEval;
+    int evaluated = 0;
+    try {
+        defaultEval = evaluate(sr.ranked[static_cast<size_t>(
+            sr.defaultRank)]);
+        ++evaluated;
+        best = defaultEval;
+        for (size_t r = 0; r < sr.ranked.size(); ++r) {
+            if (static_cast<int>(r) == sr.defaultRank)
+                continue;
+            Eval e = evaluate(sr.ranked[r]);
+            ++evaluated;
+            if (e.cycles < best.cycles) { // strict: ties keep the default
+                best = e;
+                bestRank = static_cast<int>(r);
+            }
+        }
+    } catch (const std::exception &e) {
+        stats.planDiagnostics.push_back(
+            std::string("synthesis repricing failed, using the default "
+                        "assignment: ") +
+            e.what());
+        metrics::counter("synth.search_failures").inc();
+        return {};
+    }
+    stats.synthAssignmentsEvaluated = evaluated;
+    stats.synthDefaultCycles = defaultEval.cycles;
+    stats.synthChosenCycles =
+        bestRank < 0 ? defaultEval.cycles : best.cycles;
+    if (span.active()) {
+        span.arg("evaluated", evaluated);
+        span.arg("exhaustive", sr.exhaustive ? 1 : 0);
+        span.arg("chose", bestRank < 0 ? "default" : "synthesized");
+    }
+    if (bestRank < 0)
+        return {};
+    stats.synthChoseSynthesized = 1;
+    stats.synthConvertsEliminated =
+        std::max(0, defaultEval.surviving - best.surviving);
+    return overridesFor(sr.ranked[static_cast<size_t>(bestRank)]);
+}
+
 EngineStats
 LayoutEngine::run(ir::Function &f)
 {
@@ -615,8 +665,17 @@ LayoutEngine::run(ir::Function &f)
     const auto before = metrics::Registry::instance().counterSnapshot();
 
     EngineStats stats;
-    assignForward(f, stats);
+    std::map<int, LinearLayout> anchorOverrides;
+    if (options_.synthesizeLayouts)
+        anchorOverrides = synthesizeAssignment(f, stats);
+    assignForward(f, stats,
+                  anchorOverrides.empty() ? nullptr : &anchorOverrides);
     cleanup(f, stats);
+    // Conversions the synthesized assignment avoided count as
+    // eliminated too: the headline counter keeps meaning "conversions
+    // the default path would have kept that this run does not", with
+    // the synth share still visible via synth.converts_eliminated.
+    stats.convertsEliminated += stats.synthConvertsEliminated;
     planConversions(f, stats);
     f.verify();
 
@@ -637,6 +696,12 @@ LayoutEngine::run(ir::Function &f)
     mirror("engine.plan_cache_negative_hits",
            stats.planCacheNegativeHits);
     mirror("engine.plan_cache_misses", stats.planCacheMisses);
+    mirror("synth.converts_eliminated", stats.synthConvertsEliminated);
+    mirror("synth.assignments_evaluated",
+           stats.synthAssignmentsEvaluated);
+    mirror("synth.chose_synthesized", stats.synthChoseSynthesized);
+    if (options_.synthesizeLayouts)
+        metrics::counter("synth.runs").inc();
     static auto &runsC = metrics::counter("engine.runs");
     runsC.inc();
     // engine.exec_fallbacks and engine.smoke.cache_hits are counted at

@@ -24,6 +24,7 @@
 #include "cute/admit.h"
 #include "ir/function.h"
 #include "sim/gpu_spec.h"
+#include "synth/synthesize.h"
 
 namespace ll {
 
@@ -55,6 +56,18 @@ struct EngineOptions
      *  demotion, were shaped by failpoints, or were planned while any
      *  failpoint was active are never inserted. */
     service::PlanCache *planCache = nullptr;
+    /** Run the whole-kernel anchor-assignment search (src/synth) before
+     *  propagation and adopt its winning assignment when the true cost
+     *  model prices it strictly below the default. Never worse: the
+     *  default assignment is always evaluated too and wins ties, so a
+     *  synthesized run's kernel cost is <= the synth-off run's by
+     *  construction. Off (the default) keeps the engine bit-identical
+     *  to the propagation-only path. */
+    bool synthesizeLayouts = false;
+    /** Search knobs for synthesizeLayouts. The planCache field is
+     *  overwritten with EngineOptions::planCache at run time so edge
+     *  pricing shares the engine's cache. */
+    synth::SynthOptions synthOptions;
 };
 
 struct EngineStats
@@ -95,6 +108,25 @@ struct EngineStats
     int planCacheNegativeHits = 0;
     /** Conversions that consulted the shared plan cache and missed. */
     int planCacheMisses = 0;
+    /** Conversions the synthesized assignment avoided relative to the
+     *  default assignment (surviving-after-cleanup counts, default
+     *  minus chosen). Folded into convertsEliminated — the headline
+     *  counter keeps meaning "conversions that did not survive" — and
+     *  mirrored separately as "synth.converts_eliminated" so the
+     *  propagation-vs-synthesis partition stays visible (llstat
+     *  --validate-bench-json checks it sums). Zero when synthesis is
+     *  off or chose the default. */
+    int synthConvertsEliminated = 0;
+    /** Complete assignments repriced with the true pipeline (trial
+     *  assignForward + cleanup + estimateKernelCost), including the
+     *  default. Zero when synthesis is off. */
+    int synthAssignmentsEvaluated = 0;
+    /** 1 when the run adopted a non-default assignment. */
+    int synthChoseSynthesized = 0;
+    /** True-cost-model cycles of the default and of the adopted
+     *  assignment for this run (equal unless synthChoseSynthesized). */
+    double synthDefaultCycles = 0.0;
+    double synthChosenCycles = 0.0;
     /** Human-readable notes from every fallback or failure, in op
      *  order. */
     std::vector<std::string> planDiagnostics;
@@ -149,8 +181,22 @@ class LayoutEngine
                                               int elemBytes) const;
 
   private:
-    void assignForward(ir::Function &f, EngineStats &stats);
+    /** Anchor assignment + forward propagation. `anchorOverrides` maps
+     *  anchor value ids (Load/Constant results) to synthesized layouts;
+     *  anchors absent from the map (and every transfer fallback) keep
+     *  the default — nullptr reproduces today's behavior exactly. */
+    void assignForward(ir::Function &f, EngineStats &stats,
+                       const std::map<int, LinearLayout> *anchorOverrides
+                       = nullptr);
     void cleanup(ir::Function &f, EngineStats &stats);
+
+    /** Run the synth search, reprice its finalists (and the default)
+     *  with trial assignForward + cleanup + estimateKernelCost, and
+     *  return the winning anchor overrides — empty when the default
+     *  wins or anything in the search throws. Fills the synth* stats
+     *  fields. */
+    std::map<int, LinearLayout> synthesizeAssignment(const ir::Function &f,
+                                                     EngineStats &stats);
 
     /** Lower every surviving ConvertLayout to a ConversionPlan and tag
      *  it "convert:<kind>". A plan that cannot be built downgrades the

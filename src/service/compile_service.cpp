@@ -358,6 +358,11 @@ accumulateStats(engine::EngineStats &into,
     into.planCacheHits += from.planCacheHits;
     into.planCacheNegativeHits += from.planCacheNegativeHits;
     into.planCacheMisses += from.planCacheMisses;
+    into.synthConvertsEliminated += from.synthConvertsEliminated;
+    into.synthAssignmentsEvaluated += from.synthAssignmentsEvaluated;
+    into.synthChoseSynthesized += from.synthChoseSynthesized;
+    into.synthDefaultCycles += from.synthDefaultCycles;
+    into.synthChosenCycles += from.synthChosenCycles;
     into.planDiagnostics.insert(into.planDiagnostics.end(),
                                 from.planDiagnostics.begin(),
                                 from.planDiagnostics.end());

@@ -65,6 +65,16 @@
  * with cute::tryPlanCuteConversion, executes it, and audits it against
  * the tagged-buffer oracle. Failures shrink to a minimal layout or a
  * minimal `.cute` reproducer.
+ *
+ * --diff-synth fuzzes the whole-kernel layout synthesis (src/synth):
+ * each iteration builds a random but always-valid mini-IR graph and
+ * runs the layout engine twice, synth-off and synth-on. Both runs must
+ * complete, every surviving ConvertLayout in *both* functions must
+ * oracle-verify end to end via checkCaseWithDemotion, and the
+ * synthesized function's modeled kernel cost must not exceed the
+ * default's (the never-worse guarantee). A divergence is shrunk by
+ * regenerating the graph from the same seed with a decreasing op
+ * budget and reporting the smallest budget that still fails.
  */
 
 #include <cstring>
@@ -82,6 +92,8 @@
 #include "codegen/gather.h"
 #include "codegen/swizzle.h"
 #include "cute/bridge.h"
+#include "engine/cost_model.h"
+#include "engine/layout_engine.h"
 #include "service/admission.h"
 #include "service/compile_service.h"
 #include "service/singleflight.h"
@@ -105,6 +117,7 @@ struct Options
     bool failpointPairs = false;
     bool diffF2 = false;
     bool diffCute = false;
+    bool diffSynth = false;
     bool verbose = false;
 };
 
@@ -116,7 +129,8 @@ usage()
            "              [--emit-corpus DIR] [--replay FILE]\n"
            "              [--inject-bug] [--failpoint-rate P]\n"
            "              [--failpoint-coverage] [--failpoint-pairs]\n"
-           "              [--diff-f2] [--diff-cute] [--verbose]\n";
+           "              [--diff-f2] [--diff-cute] [--diff-synth]\n"
+           "              [--verbose]\n";
 }
 
 bool
@@ -166,6 +180,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.diffF2 = true;
         } else if (arg == "--diff-cute") {
             opt.diffCute = true;
+        } else if (arg == "--diff-synth") {
+            opt.diffSynth = true;
         } else if (arg == "--failpoint-rate") {
             const char *v = needValue("--failpoint-rate");
             if (!v)
@@ -952,6 +968,229 @@ runDiffCute(const Options &opt)
     return 0;
 }
 
+/**
+ * A random mini-IR graph that is valid by construction: every action
+ * either adds a value of the pool shape or wires existing pool values
+ * through an op that preserves it, so Function's builder checks can
+ * never fire. The shapes are small pow2 rank-2 tensors so every
+ * generated dot is MMA-eligible and engine runs stay fast. The same
+ * (seed, opBudget) pair always regenerates the same graph — the shrink
+ * loop relies on that.
+ */
+ir::Function
+randomSynthGraph(uint32_t seed, int opBudget)
+{
+    std::mt19937 rng(seed);
+    ir::Function f("synth_fuzz_s" + std::to_string(seed) + "_b" +
+                   std::to_string(opBudget));
+    const ir::DType dtypes[] = {ir::DType::F16, ir::DType::F32,
+                                ir::DType::BF16, ir::DType::I32,
+                                ir::DType::I8};
+    auto pickDtype = [&] { return dtypes[rng() % 5]; };
+    const int32_t m = 16 << (rng() % 2);
+    const int32_t n = 32 << (rng() % 2);
+    const ir::Shape shape{m, n};
+    // Pool of same-shape values any later action may consume.
+    std::vector<int> pool;
+    pool.push_back(f.load({pickDtype(), shape}, "seed_a"));
+    pool.push_back(f.load({pickDtype(), shape}, "seed_b"));
+    auto pick = [&] { return pool[rng() % pool.size()]; };
+    for (int i = 0; i < opBudget; ++i) {
+        switch (rng() % 6) {
+          case 0:
+            pool.push_back(f.load({pickDtype(), shape}, "ld"));
+            break;
+          case 1: {
+            int a = pick();
+            int b = pick();
+            pool.push_back(f.elementwise({a, b}, pickDtype(), "mix"));
+            break;
+          }
+          case 2: {
+            // Embedding-style gather with a fresh index tensor.
+            int src = pick();
+            int idx = f.load({ir::DType::I32, shape}, "idx");
+            pool.push_back(f.gather(src, idx, rng() % 2 ? 1 : 0));
+            break;
+          }
+          case 3: {
+            // Tensor-core dot on fresh operands; the acc has the pool
+            // shape, so it re-enters the pool and later actions can
+            // mix a fixed MMA layout into carrier chains.
+            int a = f.load({ir::DType::F16, {m, 32}}, "dot_a");
+            int b = f.load({ir::DType::F16, {32, n}}, "dot_b");
+            pool.push_back(f.dot(a, b, ir::DType::F32));
+            break;
+          }
+          case 4:
+            pool.push_back(f.scan(pick(), 1));
+            break;
+          case 5: {
+            // Softmax-style reduce -> expand -> broadcast -> combine:
+            // the shape transfers break carrier chains mid-graph.
+            int v = pick();
+            int r = f.reduce(v, 1, "max");
+            int b = f.broadcast(f.expandDims(r, 1), shape);
+            pool.push_back(
+                f.elementwise({v, b}, f.value(v).type.dtype, "sub"));
+            break;
+          }
+        }
+    }
+    f.store(pool.back(), "out");
+    f.store(pick(), "out2");
+    return f;
+}
+
+/**
+ * --diff-synth: differential fuzzing of whole-kernel layout synthesis.
+ * Per graph the layout engine runs synth-off and synth-on; both runs
+ * must complete, every surviving ConvertLayout in each annotated
+ * function must oracle-verify end to end (checkCaseWithDemotion, the
+ * same audit the engine's exec-fallback tests use), and the
+ * synthesized run's modeled cost must not exceed the default's.
+ */
+int
+runDiffSynth(const Options &opt)
+{
+    struct Audit
+    {
+        bool ok = true;
+        std::string error;
+        double cycles = 0.0;
+        int converts = 0;
+        int choseSynth = 0;
+    };
+    // Run the engine on a copy and oracle-audit every conversion it
+    // left in the function. `specName` picks the platform model.
+    auto audit = [](ir::Function f, const std::string &specName,
+                    bool synth) -> Audit {
+        Audit a;
+        engine::EngineOptions eo;
+        eo.spec = check::specByName(specName);
+        eo.synthesizeLayouts = synth;
+        engine::LayoutEngine eng(eo);
+        const char *mode = synth ? "synth-on" : "synth-off";
+        try {
+            engine::EngineStats stats = eng.run(f);
+            a.choseSynth = stats.synthChoseSynthesized;
+        } catch (const std::exception &e) {
+            a.ok = false;
+            a.error = std::string(mode) + " engine threw: " + e.what();
+            return a;
+        }
+        for (int i = 0; i < f.numOps(); ++i) {
+            const ir::Op &o = f.op(i);
+            if (o.erased || o.kind != ir::OpKind::ConvertLayout)
+                continue;
+            const auto &have = f.value(o.operands[0]).layout;
+            const auto &want = f.value(o.results[0]).layout;
+            if (!have || !want) {
+                a.ok = false;
+                a.error = std::string(mode) + " op " +
+                          std::to_string(i) +
+                          ": conversion endpoint lacks a layout";
+                return a;
+            }
+            check::ConversionCase cc;
+            cc.src = *have;
+            cc.elemBytes =
+                ir::byteWidth(f.value(o.results[0]).type.dtype);
+            cc.specName = specName;
+            cc.summary = f.name() + " op " + std::to_string(i);
+            std::string verdict;
+            try {
+                cc.dst = want->transposeOuts(have->getOutDimNames());
+                check::DemotionReport dr =
+                    check::checkCaseWithDemotion(cc);
+                if (!dr.survived)
+                    verdict = "demotion ladder exhausted";
+                else if (!dr.report.ok())
+                    verdict = dr.report.detail;
+            } catch (const std::exception &e) {
+                verdict = std::string("exception: ") + e.what();
+            }
+            if (!verdict.empty()) {
+                a.ok = false;
+                a.error = std::string(mode) + " op " +
+                          std::to_string(i) +
+                          " failed the oracle: " + verdict;
+                return a;
+            }
+            ++a.converts;
+        }
+        a.cycles = engine::estimateKernelCost(f, eo.spec).cycles;
+        return a;
+    };
+
+    int64_t convertsAudited = 0;
+    int graphsChoseSynth = 0;
+    // Non-empty string = what diverged on this (seed, budget, spec).
+    // Doubles as the shrink predicate.
+    auto divergence = [&](uint32_t seed, int budget,
+                          const std::string &specName) -> std::string {
+        ir::Function base = randomSynthGraph(seed, budget);
+        Audit off = audit(base, specName, false);
+        if (!off.ok)
+            return off.error;
+        Audit on = audit(base, specName, true);
+        if (!on.ok)
+            return on.error;
+        if (on.cycles > off.cycles + 1e-6) {
+            return "synthesis regressed modeled cycles: off=" +
+                   std::to_string(off.cycles) +
+                   " on=" + std::to_string(on.cycles);
+        }
+        convertsAudited += off.converts + on.converts;
+        if (on.choseSynth > 0)
+            ++graphsChoseSynth;
+        return "";
+    };
+
+    const std::string specNames[] = {"gh200", "rtx4090", "mi250"};
+    for (int iter = 0; iter < opt.iters; ++iter) {
+        uint32_t seed = opt.seed + static_cast<uint32_t>(iter);
+        const int budget = 3 + static_cast<int>(seed % 6);
+        const std::string &specName = specNames[seed % 3];
+        std::string msg = divergence(seed, budget, specName);
+        if (opt.verbose) {
+            std::cout << "[" << iter << "] seed " << seed << " budget "
+                      << budget << " " << specName << ": "
+                      << (msg.empty() ? "clean" : msg) << "\n";
+        }
+        if (msg.empty())
+            continue;
+        // Shrink: same seed, smallest op budget that still fails.
+        int minBudget = budget;
+        std::string minMsg = msg;
+        for (int b = 1; b < budget; ++b) {
+            std::string m = divergence(seed, b, specName);
+            if (!m.empty()) {
+                minBudget = b;
+                minMsg = m;
+                break;
+            }
+        }
+        std::cerr << "SYNTH DIVERGENCE (seed " << seed << ", op budget "
+                  << minBudget << ", " << specName << "): " << minMsg
+                  << "\n"
+                  << randomSynthGraph(seed, minBudget).print()
+                  << "replay: llfuzz --diff-synth --seed " << seed
+                  << " --iters 1\n";
+        return 1;
+    }
+
+    std::cout << "llfuzz --diff-synth: " << opt.iters
+              << " graphs run synth-off and synth-on, no divergence "
+                 "(seed "
+              << opt.seed << ")\n"
+              << "  conversions oracle-audited: " << convertsAudited
+              << "\n  graphs where synthesis chose a non-default "
+                 "assignment: "
+              << graphsChoseSynth << "\n";
+    return 0;
+}
+
 int
 main(int argc, char **argv)
 {
@@ -977,6 +1216,9 @@ main(int argc, char **argv)
 
     if (opt.diffCute)
         return runDiffCute(opt);
+
+    if (opt.diffSynth)
+        return runDiffSynth(opt);
 
     if (!opt.replayFile.empty()) {
         check::ConversionCase c;

@@ -39,6 +39,13 @@
  *   --slack-ms MS   absolute slack added on top (default 0.05), so
  *                   microsecond-scale benches do not flap the gate.
  *
+ *   When a baseline report carries the layout-synthesis fields
+ *   (synth.fig9.converts_eliminated / synth.fig9.cycles in "metrics",
+ *   emitted by fig9_real_kernels under LL_FIG9_SYNTH), the matching
+ *   current report must carry them too: eliminated may not decrease at
+ *   all (a deterministic model count) and cycles may not grow past the
+ *   relative tolerance. fig9_synth_smoke exercises both directions.
+ *
  * Ledger schema validation lives in `llstat --validate-ledger`; llprof
  * assumes well-formed records and skips lines it cannot parse (counted
  * and reported).
@@ -432,6 +439,14 @@ struct BenchReport
     double medianMs = 0.0;
     double p90Ms = 0.0;
     double reps = 0.0;
+    /** Layout-synthesis fields from a fig9 run with LL_FIG9_SYNTH
+     *  (metrics object); absent from every other report. The gate
+     *  treats them as part of the contract once a baseline carries
+     *  them: eliminated must not decrease (it is a deterministic
+     *  model count, no tolerance) and cycles must not grow past the
+     *  wall-time tolerance. */
+    std::optional<double> synthEliminated;
+    std::optional<double> synthCycles;
 };
 
 std::optional<BenchReport>
@@ -457,6 +472,16 @@ readBenchReport(const std::string &path)
     r.p90Ms = p90 && p90->isNumber() ? p90->number : 0.0;
     const auto *reps = parsed->find("reps");
     r.reps = reps && reps->isNumber() ? reps->number : 0.0;
+    if (const auto *metrics = parsed->find("metrics");
+        metrics && metrics->isObject()) {
+        const auto *elim =
+            metrics->find("synth.fig9.converts_eliminated");
+        if (elim && elim->isNumber())
+            r.synthEliminated = elim->number;
+        const auto *cycles = metrics->find("synth.fig9.cycles");
+        if (cycles && cycles->isNumber())
+            r.synthCycles = cycles->number;
+    }
     return r;
 }
 
@@ -550,6 +575,45 @@ runGate(const Options &opt)
         std::printf("  %-28s %12.3f %12.3f %+8.1f  %s\n", name.c_str(),
                     base.medianMs, cur, deltaPct,
                     regressed ? "REGRESSED" : "ok");
+        // Synth fields: present in the baseline -> part of the
+        // contract for the current report too.
+        if (base.synthEliminated.has_value()) {
+            const auto &curR = it->second;
+            bool bad;
+            if (!curR.synthEliminated.has_value()) {
+                bad = true;
+                std::printf("  %-28s %12.0f %12s %8s  MISSING\n",
+                            (name + ".synth_eliminated").c_str(),
+                            *base.synthEliminated, "-", "-");
+            } else {
+                bad = *curR.synthEliminated < *base.synthEliminated;
+                std::printf("  %-28s %12.0f %12.0f %8s  %s\n",
+                            (name + ".synth_eliminated").c_str(),
+                            *base.synthEliminated,
+                            *curR.synthEliminated, "-",
+                            bad ? "REGRESSED" : "ok");
+            }
+            regressions += bad;
+        }
+        if (base.synthCycles.has_value()) {
+            const auto &curR = it->second;
+            bool bad;
+            if (!curR.synthCycles.has_value()) {
+                bad = true;
+                std::printf("  %-28s %12.0f %12s %8s  MISSING\n",
+                            (name + ".synth_cycles").c_str(),
+                            *base.synthCycles, "-", "-");
+            } else {
+                const double cycleLimit =
+                    *base.synthCycles * (1.0 + opt.tolerance);
+                bad = *curR.synthCycles > cycleLimit;
+                std::printf("  %-28s %12.0f %12.0f %8s  %s\n",
+                            (name + ".synth_cycles").c_str(),
+                            *base.synthCycles, *curR.synthCycles, "-",
+                            bad ? "REGRESSED" : "ok");
+            }
+            regressions += bad;
+        }
     }
     std::printf("llprof gate: %d regression(s) across %zu bench(es)\n",
                 regressions, baseline->size());

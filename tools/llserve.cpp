@@ -91,6 +91,12 @@ struct Options
 {
     std::string corpusDir;
     bool kernels = false;
+    /** Run kernel requests with EngineOptions::synthesizeLayouts: the
+     *  whole-kernel anchor-assignment search picks the layout
+     *  assignment instead of pure propagation. Corpus (conversion)
+     *  requests are unaffected — they carry explicit endpoint
+     *  layouts. */
+    bool synth = false;
     int threads = 4;
     int repeat = 1;
     bool shuffle = false;
@@ -131,7 +137,8 @@ void
 usage()
 {
     std::cerr
-        << "usage: llserve [--corpus DIR] [--kernels] [--threads N]\n"
+        << "usage: llserve [--corpus DIR] [--kernels] [--synth]\n"
+           "               [--threads N]\n"
            "               [--repeat K] [--shuffle] [--seed S]\n"
            "               [--no-cache] [--cache-capacity N]\n"
            "               [--expect-hit-rate PCT] [--ledger PATH]\n"
@@ -167,6 +174,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.corpusDir = v;
         } else if (arg == "--kernels") {
             opt.kernels = true;
+        } else if (arg == "--synth") {
+            opt.synth = true;
         } else if (arg == "--threads") {
             const char *v = needValue("--threads");
             if (!v)
@@ -602,6 +611,10 @@ main(int argc, char **argv)
     serviceOptions.threads = opt.threads;
     serviceOptions.cache = cache.get();
     serviceOptions.serviceFloorUs = opt.serviceFloorUs;
+    serviceOptions.engine.synthesizeLayouts = opt.synth;
+    if (opt.synth)
+        std::cout << "llserve: layout synthesis on for kernel "
+                     "requests (--synth)\n";
     service::CompileService svc{serviceOptions};
 
     service::ServiceReport report;

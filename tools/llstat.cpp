@@ -420,6 +420,40 @@ validateBenchReport(const std::string &path, const jsonlite::Value &v,
                   << ", shed " << split[1] << ", deadline-exceeded "
                   << split[2] << ", failed " << split[3] << "\n";
     }
+    // A fig9 synth run must partition its eliminated-conversion count:
+    // propagation-eliminated + synthesis-eliminated = eliminated. A
+    // report that only carries the headline number hides whether the
+    // search did anything. Counters are emitted as deltas with zeros
+    // omitted, so an absent partition member reads as an exact 0 (a
+    // run where synthesis eliminated nothing extra is still valid —
+    // it just must sum).
+    if (const auto *elim =
+            metrics->find("synth.fig9.converts_eliminated")) {
+        const auto *prop =
+            metrics->find("synth.fig9.propagation_eliminated");
+        const auto *syn = metrics->find("synth.fig9.synth_eliminated");
+        if ((prop && !prop->isNumber()) || (syn && !syn->isNumber())) {
+            why = "synth report carries a non-numeric member of the "
+                  "propagation/synthesis partition";
+            return false;
+        }
+        if (!prop && !syn) {
+            why = "synth report lacks the propagation/synthesis "
+                  "partition of synth.fig9.converts_eliminated";
+            return false;
+        }
+        double propN = prop ? prop->number : 0;
+        double synN = syn ? syn->number : 0;
+        if (propN + synN != elim->number) {
+            why = "synth eliminated partition does not sum (" +
+                  std::to_string(propN) + " + " + std::to_string(synN) +
+                  " vs " + std::to_string(elim->number) + ")";
+            return false;
+        }
+        std::cout << "llstat: fig9 synth: eliminated " << elim->number
+                  << " (propagation " << propN << " + synthesis " << synN
+                  << ")\n";
+    }
     return true;
 }
 
